@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one benchmark module here.  Each bench runs its
+figure harness once (``benchmark.pedantic`` with a single round — the
+workloads are deterministic, so repetition only measures noise), prints the
+regenerated series next to the paper's expectation, and asserts the
+qualitative shape.
+
+Scale defaults to ``bench``; set ``REPRO_BENCH_SCALE=smoke`` for a fast
+pass or ``full`` for tighter statistics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under the benchmark timer and return it."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Ablation bench: routing policy x cluster caching (Preble-style serving).
+
+Thin wrapper over :func:`repro.experiments.extensions.run_cluster`
+(regenerate standalone with ``python -m repro.experiments --figure
+ext-cluster``).  Content-blind balancing scatters conversations — hybrid
+hits are all-or-nothing, so a mis-route loses the entire hit — while
+prefix-affinity routing recovers most of the locality at a small fairness
+cost.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_cluster
+
+
+def test_ablation_cluster_routing(benchmark, scale):
+    result = run_once(benchmark, run_cluster, scale)
+    print("\n" + result.render())
+    out = result.extra["routers"]
+    # Locality-aware routing must beat content-blind balancing on hit rate,
+    # and prefix affinity must beat plain session stickiness (it also wins
+    # cross-session shared prefixes).
+    assert out["prefix_affinity"]["hit_rate"] > out["round_robin"]["hit_rate"]
+    assert out["session_affinity"]["hit_rate"] > out["round_robin"]["hit_rate"]
+    if scale != "smoke":
+        assert out["prefix_affinity"]["hit_rate"] >= out["session_affinity"]["hit_rate"]
+        # Round-robin stays the fairness ceiling.
+        assert out["round_robin"]["fairness"] >= 0.9

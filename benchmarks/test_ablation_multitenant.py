@@ -1,0 +1,24 @@
+"""Ablation bench: multi-tenant mixture — chat bursts vs agentic prefixes.
+
+Thin wrapper over :func:`repro.experiments.extensions.run_multitenant`
+(regenerate standalone with ``python -m repro.experiments --figure
+ext-multitenant``).  A ShareGPT-like chat tenant shares one cache with a
+SWEBench-like agent tenant; recency-only eviction lets the chat burst wash
+the agent's checkpoints out between its slow rounds, the FLOP-aware score
+holds them — the paper's section 5.3 trade at tenant granularity.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_multitenant
+
+
+def test_ablation_multitenant(benchmark, scale):
+    result = run_once(benchmark, run_multitenant, scale)
+    print("\n" + result.render())
+    out = result.extra["policies"]
+    # FLOP-aware eviction must protect the agent tenant's long prefixes
+    # and must not lose total compute savings relative to LRU.
+    assert out["flop_aware"]["agent"] >= out["lru"]["agent"]
+    if scale != "smoke":
+        assert out["flop_aware"]["flops_saved"] >= 0.95 * out["lru"]["flops_saved"]

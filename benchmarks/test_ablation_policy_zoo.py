@@ -1,0 +1,33 @@
+"""Ablation bench: the full eviction-policy zoo plus the clairvoyant bound.
+
+Thin wrapper over :func:`repro.experiments.extensions.run_policy_zoo`
+(regenerate standalone with ``python -m repro.experiments --figure ext-zoo``).
+
+All policies replay the trace in nominal (zero-service-latency) order so
+the clairvoyant bound applies to exactly the request stream the online
+policies saw.  Nominal order flatters recency (each session's rounds
+arrive back-to-back), so the FLOP-aware-vs-LRU *engine* win is asserted in
+``test_ablation_eviction.py``, which runs the closed-loop simulator; here
+the assertions target the relations that are ordering-robust.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_policy_zoo
+
+
+def test_ablation_policy_zoo(benchmark, scale):
+    result = run_once(benchmark, run_policy_zoo, scale)
+    print("\n" + result.render())
+    rates = result.extra["rates"]
+    # Future knowledge dominates every online policy.
+    online_best = max(rate for name, rate in rates.items() if name != "clairvoyant")
+    assert rates["clairvoyant"] >= online_best - 1e-9
+    # The size-only proxy (GDS) must not beat the FLOP-aware score: equal
+    # byte footprints hide wildly different compute savings (section 4.2).
+    assert rates["flop_aware"] >= rates["gds"]
+    if scale != "smoke":
+        # Informed recency must clear the random floor, and the FLOP-aware
+        # score must stay competitive with the best online policy.
+        assert rates["lru"] > rates["random"]
+        assert rates["flop_aware"] >= online_best - 0.05

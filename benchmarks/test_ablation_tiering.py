@@ -1,0 +1,26 @@
+"""Ablation bench: the two-tier cache against its single-tier primary.
+
+Thin wrapper over :func:`repro.experiments.extensions.run_tiering`
+(regenerate standalone with ``python -m repro.experiments --figure
+ext-tiering``).  A contended primary tier is paired with a larger
+second-tier store (CachedAttention/Pensieve-style, section 6); the bench
+measures how much hit rate the demote/promote hierarchy recovers and
+whether sharing Marconi's FLOP-aware philosophy in the second tier beats
+plain LRU there.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_tiering
+
+
+def test_ablation_tiering(benchmark, scale):
+    result = run_once(benchmark, run_tiering, scale)
+    print("\n" + result.render())
+    out = result.extra["variants"]
+    # The hierarchy must actually engage and must not hurt hit rate.
+    for tiered in ("tiered-lru", "tiered-flop"):
+        assert out[tiered]["hit_rate"] >= out["single-tier"]["hit_rate"]
+    if scale != "smoke":
+        assert out["tiered-flop"]["promotions"] > 0
+        assert out["tiered-flop"]["hit_rate"] > out["single-tier"]["hit_rate"]

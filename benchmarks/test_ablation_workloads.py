@@ -1,0 +1,44 @@
+"""Ablation bench: the taxonomy workloads probe the admission trade-off.
+
+Thin wrapper over :func:`repro.experiments.extensions.run_taxonomy_workloads`
+(regenerate standalone with ``python -m repro.experiments --figure
+ext-taxonomy``).  Three purely-input workloads from the paper's section 4.1
+taxonomy, each stressing a different corner of the admission design:
+
+* **docqa** — enormous shared documents.  One fine-grained request floods
+  the cache with block states; Marconi's two-states-per-document admission
+  banks nearly the whole reuse opportunity.
+* **fewshot** — many short shared templates.  Even here block granularity
+  floods a hybrid cache (a 1.4K-token template is ~44 blocks, each
+  carrying a full recurrent state), so judicious admission still wins —
+  the gap just comes from hit *frequency* over many small prefixes rather
+  than a few giant ones.
+* **selfconsistency** — byte-identical repeated prompts.  The honest
+  counterexample: node-granular checkpoints cannot serve identical inputs
+  (the final token must always be prefilled and the branch point sits
+  exactly at the input boundary), while block-grained vLLM+ reuses all but
+  the last partial block — at a per-sample memory cost.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_taxonomy_workloads
+
+POLICIES = ("vllm+", "sglang+", "marconi")
+
+
+def test_ablation_taxonomy_workloads(benchmark, scale):
+    result = run_once(benchmark, run_taxonomy_workloads, scale)
+    print("\n" + result.render())
+    out = result.extra["workloads"]
+    for workload, row in out.items():
+        for policy in POLICIES:
+            assert row[policy] <= row["ceiling"] + 1e-9, (workload, policy)
+    if scale != "smoke":
+        # Huge shared prefixes: judicious admission wins big.
+        assert out["docqa"]["marconi"] > 1.2 * out["docqa"]["vllm+"]
+        # Identical prompts: the one regime where fine-grained blocks win
+        # the hit rate (they pay for it in state bytes).
+        assert out["selfconsistency"]["vllm+"] > out["selfconsistency"]["marconi"]
+        # Short templates: Marconi keeps a healthy share of the ceiling.
+        assert out["fewshot"]["marconi"] >= 0.7 * out["fewshot"]["ceiling"]

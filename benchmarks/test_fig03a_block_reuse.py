@@ -1,0 +1,15 @@
+"""Bench: Fig. 3a — KV vs SSM block reuse rates under fine-grained caching."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig03_motivation
+
+
+def test_fig3a_block_reuse(benchmark, scale):
+    result = run_once(benchmark, fig03_motivation.run_3a, scale)
+    print("\n" + result.render())
+    ratios = result.extra["ratios"]
+    # Paper: 65.3x / 27.9x / 11.1x — KV reuse dwarfs SSM reuse and the gap
+    # narrows as blocks grow.
+    assert ratios[32] > ratios[64] > ratios[128] > 1.0
+    assert ratios[32] / ratios[128] > 2.0

@@ -1,0 +1,13 @@
+"""Bench: Fig. 3b — per-sequence cache footprint vs length."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import fig03_motivation
+
+
+def test_fig3b_state_size(benchmark, scale):
+    result = run_once(benchmark, fig03_motivation.run_3b, scale)
+    print("\n" + result.render())
+    # Paper anchor: 17.4 GB at 10K tokens with block size 16.
+    assert result.extra["anchor_gb"] == pytest.approx(17.4, abs=0.1)

@@ -1,0 +1,17 @@
+"""Bench: Fig. 5 — FLOP efficiency vs sequence length per architecture."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import fig05_flop_efficiency
+
+
+def test_fig5_flop_efficiency(benchmark, scale):
+    result = run_once(benchmark, fig05_flop_efficiency.run, scale)
+    print("\n" + result.render())
+    series = result.extra["series"]
+    # Paper magnitudes at L=2000: Mamba ~4e5, Hybrid ~1.7e5, Transformer ~3e4.
+    assert series["mamba"][-1] == pytest.approx(3.8e5, rel=0.2)
+    assert series["hybrid"][-1] == pytest.approx(1.7e5, rel=0.2)
+    assert series["transformer"][-1] == pytest.approx(2.7e4, rel=0.2)
+    assert series["mamba"][-1] > series["hybrid"][-1] > series["transformer"][-1]

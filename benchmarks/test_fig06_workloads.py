@@ -1,0 +1,19 @@
+"""Bench: Fig. 6 — workload sequence length distributions."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig06_workload_stats
+
+
+def test_fig6_workload_distributions(benchmark, scale):
+    result = run_once(benchmark, fig06_workload_stats.run, scale)
+    print("\n" + result.render())
+    data = result.extra
+    # Paper: LMSys inputs tail to ~30K; ShareGPT stays short; SWEBench is
+    # the widest with short outputs.
+    assert data["lmsys"]["inputs"].max() > 10_000
+    assert data["sharegpt"]["inputs"].max() < 10_000
+    assert data["swebench"]["inputs"].max() > 20_000
+    assert np.median(data["swebench"]["outputs"]) < 500
+    assert np.median(data["lmsys"]["outputs"]) > np.median(data["sharegpt"]["outputs"])

@@ -1,0 +1,16 @@
+"""Bench: Fig. 7 — token hit rate, Marconi vs vLLM+ over the config sweep."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig07_hit_rate
+
+
+def test_fig7_hit_rate(benchmark, scale):
+    result = run_once(benchmark, fig07_hit_rate.run, scale)
+    print("\n" + result.render())
+    ratios = result.extra["mean_ratios"]
+    # Paper: average wins of 4.5x (LMSys), 7.3x (ShareGPT), 34.4x (SWEBench).
+    # Shape: Marconi beats vLLM+ everywhere; SWEBench shows the largest gap.
+    assert all(ratio > 1.5 for ratio in ratios.values())
+    assert ratios["swebench"] > ratios["lmsys"]
+    assert ratios["swebench"] > ratios["sharegpt"]

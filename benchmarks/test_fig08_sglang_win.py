@@ -1,0 +1,21 @@
+"""Bench: Fig. 8 — Marconi's hit-rate win over SGLang+ (eviction ablation)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig08_sglang_win
+
+
+def test_fig8_sglang_win(benchmark, scale):
+    result = run_once(benchmark, fig08_sglang_win.run, scale)
+    print("\n" + result.render())
+    wins = result.extra["wins"]
+    # Paper: P95 wins 219.7% (SWEBench) >> 45.6% (LMSys) / 19.0% (ShareGPT).
+    # Shape: SWEBench (widest length spread) benefits most from FLOP-aware
+    # eviction; the tuner never loses badly anywhere (min win bounded).
+    p95 = {d: float(np.percentile(w, 95)) for d, w in wins.items()}
+    for dataset, values in wins.items():
+        assert float(np.min(values)) > -15.0, f"{dataset} regressed badly"
+    if scale != "smoke":
+        assert p95["swebench"] >= p95["sharegpt"]
+        assert p95["swebench"] > 5.0  # a real win, in percent

@@ -1,0 +1,20 @@
+"""Bench: Fig. 9 — P95 TTFT relative to vanilla inference."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig09_ttft
+
+
+def test_fig9_ttft(benchmark, scale):
+    result = run_once(benchmark, fig09_ttft.run, scale)
+    print("\n" + result.render())
+    ratios = result.extra["ratios"]
+    for dataset, by_policy in ratios.items():
+        marconi_best = float(np.min(by_policy["marconi"]))
+        vllm_median = float(np.median(by_policy["vllm+"]))
+        marconi_median = float(np.median(by_policy["marconi"]))
+        # Caching must reduce tail TTFT vs vanilla (ratio < 1) and Marconi
+        # must beat vLLM+ (paper: 36.1-71.1% larger reductions).
+        assert marconi_best < 0.95, dataset
+        assert marconi_median <= vllm_median + 1e-9, dataset

@@ -1,0 +1,25 @@
+"""Bench: Fig. 10 — fine-grained analysis of FLOP-aware eviction (SWEBench)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig10_fine_grained
+
+
+def test_fig10_fine_grained(benchmark, scale):
+    result = run_once(benchmark, fig10_fine_grained.run, scale)
+    print("\n" + result.render())
+    m = result.extra["marconi_rates"]
+    s = result.extra["sglang_rates"]
+    counts = result.extra["counts"]
+    diffs = np.asarray(m) - np.asarray(s)
+    valid = counts > 5
+    if np.any(valid):
+        edges = result.extra["edges"][:-1][valid]
+        diffs = diffs[valid]
+        # Paper shape: losses (if any) concentrate on short sequences, wins
+        # on long ones — the weighted-by-length diff must favor long bins.
+        long_mask = edges >= np.median(edges)
+        assert np.nanmean(diffs[long_mask]) >= np.nanmean(diffs[~long_mask]) - 1e-9
+    results = result.extra["results"]
+    assert results["marconi"].token_hit_rate >= results["sglang+"].token_hit_rate - 0.02

@@ -1,0 +1,21 @@
+"""Bench: Fig. 11 — FLOP-aware eviction's benefit vs cache contention."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig11_contention
+
+
+def test_fig11_contention(benchmark, scale):
+    result = run_once(benchmark, fig11_contention.run, scale)
+    print("\n" + result.render())
+    wins = np.asarray(result.extra["wins"])
+    # Paper: wins peak at moderate contention (24.3/51.5/68.3/30.0/10.0%
+    # across the sweep).  Shape: an interior point beats both extremes'
+    # average, and Marconi never loses badly.
+    assert wins.min() > -15.0
+    assert wins[-1] <= wins.max() + 1e-9  # lowest contention never peaks
+    if scale != "smoke":
+        assert wins.max() > 0.0
+        interior_best = wins[1:-1].max()
+        assert interior_best >= (wins[0] + wins[-1]) / 2 - 1e-9

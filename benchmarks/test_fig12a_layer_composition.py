@@ -1,0 +1,20 @@
+"""Bench: Fig. 12a — hit rate vs (SSM, Attention) layer composition."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig12_architecture
+
+
+def test_fig12a_layer_composition(benchmark, scale):
+    result = run_once(benchmark, fig12_architecture.run_12a, scale)
+    print("\n" + result.render())
+    normalized = result.extra["normalized"]
+    # Paper: Marconi's margin over vLLM+ grows with the SSM ratio and the
+    # systems coincide on the pure Transformer.
+    assert normalized["(32,4)"]["marconi"] == 1.0
+    assert normalized["(32,4)"]["vllm+"] < 0.5
+    # vLLM+'s relative standing improves monotonically toward (0,36).
+    ordering = ["(32,4)", "(30,5)", "(28,7)", "(24,12)", "(0,36)"]
+    vllm_norms = [normalized[k]["vllm+"] for k in ordering]
+    assert all(a <= b + 0.05 for a, b in zip(vllm_norms, vllm_norms[1:]))
+    assert min(normalized["(0,36)"].values()) > 0.5  # converged league

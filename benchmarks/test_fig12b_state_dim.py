@@ -1,0 +1,18 @@
+"""Bench: Fig. 12b — hit rate vs SSM state dimension."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig12_architecture
+
+
+def test_fig12b_state_dim(benchmark, scale):
+    result = run_once(benchmark, fig12_architecture.run_12b, scale)
+    print("\n" + result.render())
+    ratios = result.extra["ratios"]
+    # Paper: Marconi's win over vLLM+ grows with N (5.7x at N=16 to 35.4x at
+    # N=128); over SGLang+ it stays a modest constant factor.
+    assert ratios["N=128"]["vllm+"] > ratios["N=64"]["vllm+"]
+    assert ratios["N=64"]["vllm+"] > ratios["N=16"]["vllm+"]
+    assert ratios["N=128"]["vllm+"] > 2.0
+    for dim in ("N=128", "N=64", "N=32", "N=16"):
+        assert ratios[dim]["sglang+"] >= 0.9  # never loses to LRU

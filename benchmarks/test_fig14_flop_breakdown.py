@@ -1,0 +1,18 @@
+"""Bench: Fig. 14 — FLOP breakdown by layer type."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig14_flop_breakdown
+
+
+def test_fig14_flop_breakdown(benchmark, scale):
+    result = run_once(benchmark, fig14_flop_breakdown.run, scale)
+    print("\n" + result.render())
+    shares = result.extra["shares"]
+    lengths = sorted(shares)
+    attn_shares = [shares[L]["attention"] for L in lengths]
+    # Paper: 4 of 56 layers (7.1%) but a growing FLOP share, significant by 30K.
+    assert attn_shares == sorted(attn_shares)
+    assert attn_shares[0] < 0.15
+    # 4 of 56 layers is 7.1%; by 30K tokens their FLOP share far exceeds it.
+    assert attn_shares[-1] > 2 * (4 / 56)

@@ -1,0 +1,11 @@
+"""Bench: Table 1 — closed-form FLOP efficiency verification."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_table1_closed_forms(benchmark, scale):
+    result = run_once(benchmark, tables.run, scale)
+    print("\n" + result.render())
+    assert result.extra["max_rel_err"] < 1e-12

@@ -1,0 +1,80 @@
+"""Multi-tenant serving: one cache, two traffic classes, who gets evicted?
+
+A bursty chat tenant (ShareGPT-like: many short sessions) shares a Marconi
+cache with an agentic tenant (SWE-Bench-like: few sessions, enormous
+contexts, slow rounds).  Under LRU, every chat burst washes the agent's
+checkpoints out of the cache before its next round returns.  FLOP-aware
+eviction recognizes that one agent prefix is worth hundreds of chat
+prefixes per byte and holds it — the paper's short-for-long trade, shown
+per tenant.
+
+Run:  python examples/multitenant_serving.py
+"""
+
+from collections import defaultdict
+
+from repro import MarconiCache, hybrid_7b, simulate_trace
+from repro.metrics import ascii_table
+from repro.workloads import (
+    component_of,
+    generate_sharegpt_trace,
+    generate_swebench_trace,
+    mix_traces,
+)
+
+CACHE_GB = 12
+
+
+def per_tenant(result, trace):
+    tokens, hits = defaultdict(int), defaultdict(int)
+    for record in result.records:
+        tenant = component_of(trace, record.session_id)
+        tokens[tenant] += record.input_len
+        hits[tenant] += record.hit_tokens
+    return {tenant: hits[tenant] / tokens[tenant] for tenant in tokens}
+
+
+def main() -> None:
+    model = hybrid_7b()
+    chat = generate_sharegpt_trace(n_sessions=120, seed=1, session_rate=3.0,
+                                   mean_think_s=3.0)
+    agent = generate_swebench_trace(n_sessions=12, seed=2, session_rate=0.2,
+                                    mean_think_s=10.0)
+    mixed = mix_traces([chat, agent])
+    print(
+        f"tenants: chat={chat.n_requests} requests (bursty), "
+        f"agent={agent.n_requests} requests (long contexts); "
+        f"shared cache {CACHE_GB} GB\n"
+    )
+
+    rows = []
+    for name, kwargs in {
+        "lru": dict(eviction="lru"),
+        "flop_aware": dict(eviction="flop_aware", alpha=1.0),
+    }.items():
+        cache = MarconiCache(model, int(CACHE_GB * 1e9), **kwargs)
+        result = simulate_trace(model, cache, mixed, policy_name=name)
+        tenants = per_tenant(result, mixed)
+        rows.append(
+            [
+                name,
+                f"{100 * result.token_hit_rate:.1f}%",
+                f"{100 * tenants['sharegpt']:.1f}%",
+                f"{100 * tenants['swebench']:.1f}%",
+                f"{result.total_flops_saved:.3g}",
+            ]
+        )
+
+    print(ascii_table(
+        ["eviction", "overall hit", "chat tenant", "agent tenant", "FLOPs saved"],
+        rows,
+    ))
+    print(
+        "\nFLOP-aware eviction gives back a little of the chat tenant's hit\n"
+        "rate to protect the agent's far more compute-dense prefixes — and\n"
+        "comes out ahead on both overall hit rate and FLOPs saved."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Clairvoyant (Belady-style) eviction replay: an offline upper-bound yardstick.
+
+Belady's MIN evicts the entry whose next use lies farthest in the future and
+is optimal for unit-size, unit-cost caches.  Hybrid-model cache entries have
+neither unit size nor unit cost, so farthest-next-use is a *heuristic* upper
+bound here, not a provable optimum — but it is exactly the right yardstick
+for the paper's online policies: it knows which checkpoints will actually be
+reused, so any gap between an online policy and this replay is attributable
+to prediction, not mechanics.
+
+The replay drives a regular :class:`repro.core.cache.MarconiCache` (same
+admission, same tree mechanics) with the eviction policy swapped for
+:class:`ClairvoyantEviction`, which scans the yet-unserved request schedule
+for the next request whose input extends each candidate node's prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import MarconiCache
+from repro.core.eviction import EvictionCandidate, EvictionPolicy
+from repro.core.radix_tree import common_prefix_length
+from repro.models.config import ModelConfig
+from repro.workloads.trace import Trace
+
+_NEVER = float("inf")
+
+
+class ClairvoyantEviction(EvictionPolicy):
+    """Farthest-next-use victim selection over a known request schedule.
+
+    Parameters
+    ----------
+    schedule:
+        The inputs of every request in service order.  ``cursor`` marks the
+        first request that has not been served yet; only requests at or
+        after the cursor count as future uses.
+    """
+
+    name = "clairvoyant"
+
+    def __init__(self, schedule: list[np.ndarray]) -> None:
+        self.schedule = [np.asarray(s, dtype=np.int32) for s in schedule]
+        self.cursor = 0
+
+    def advance(self, cursor: int) -> None:
+        """Mark requests before ``cursor`` as already served."""
+        if not 0 <= cursor <= len(self.schedule):
+            raise ValueError(
+                f"cursor must be in [0, {len(self.schedule)}], got {cursor}"
+            )
+        self.cursor = cursor
+
+    def _next_use(self, path: np.ndarray) -> float:
+        """Index of the next scheduled request whose input extends ``path``.
+
+        A checkpoint at prefix length ``p`` serves request ``r`` only when
+        ``r``'s input strictly extends the prefix (at least the final input
+        token must be prefilled to produce first-step logits), mirroring
+        the cache's ``max_seq_len = len(tokens) - 1`` hit rule.
+        """
+        p = len(path)
+        for index in range(self.cursor, len(self.schedule)):
+            future = self.schedule[index]
+            if len(future) > p and common_prefix_length(future, path) == p:
+                return float(index)
+        return _NEVER
+
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        scored = [
+            (self._next_use(c.node.path_tokens()), c.sort_key, c) for c in candidates
+        ]
+        # Farthest next use goes first; among the never-reused, evict the
+        # least FLOP-efficient first so surviving dead weight is cheap.
+        never = [(c.flop_efficiency, key, c) for use, key, c in scored if use == _NEVER]
+        if never:
+            return min(never, key=lambda item: (item[0], item[1]))[2]
+        return max(scored, key=lambda item: (item[0],))[2]
+
+
+@dataclass
+class ClairvoyantResult:
+    """Outcome of one clairvoyant replay."""
+
+    token_hit_rate: float
+    n_requests: int
+    evictions: int
+    hit_tokens: int
+    input_tokens: int
+    per_request_hits: list[int] = field(default_factory=list)
+
+
+def clairvoyant_replay(
+    model: ModelConfig,
+    trace: Trace,
+    capacity_bytes: int,
+) -> ClairvoyantResult:
+    """Replay ``trace`` through a Marconi cache evicting with future knowledge.
+
+    Requests are served in nominal order (zero service latency), matching
+    the engine-less replays used by the static-alpha oracle, so results are
+    directly comparable with :func:`repro.baselines.oracle.tune_static_alpha`.
+    """
+    requests = list(trace.iter_requests_nominal())
+    if not requests:
+        raise ValueError("cannot replay an empty trace")
+    schedule = [input_tokens for _, _, _, input_tokens, _ in requests]
+
+    cache = MarconiCache(model, capacity_bytes, eviction="lru")
+    policy = ClairvoyantEviction(schedule)
+    cache.policy = policy
+
+    per_request_hits: list[int] = []
+    for index, (now, _, _, input_tokens, full_tokens) in enumerate(requests):
+        # The request being served is no longer a *future* use of anything.
+        policy.advance(index + 1)
+        result = cache.lookup(input_tokens, now)
+        per_request_hits.append(result.hit_tokens)
+        cache.admit(full_tokens, now, handle=result.handle)
+
+    stats = cache.stats
+    return ClairvoyantResult(
+        token_hit_rate=stats.token_hit_rate,
+        n_requests=len(requests),
+        evictions=stats.evictions,
+        hit_tokens=stats.hit_tokens,
+        input_tokens=stats.input_tokens,
+        per_request_hits=per_request_hits,
+    )

@@ -1,0 +1,32 @@
+"""SGLang+ — Marconi's admission with plain LRU eviction (artifact policy V1).
+
+The paper enhances SGLang with the same judicious admission policy as
+Marconi (otherwise its fine-grained admission would collapse like vLLM+'s),
+so the only difference from Marconi is the eviction policy: LRU instead of
+FLOP-aware scoring.  Comparing the two isolates the contribution of
+FLOP-aware eviction (Figs. 8, 10, 11, 13).
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import MarconiCache
+from repro.models.config import ModelConfig
+
+
+class SGLangPlusCache(MarconiCache):
+    """Radix-tree cache with judicious admission and LRU eviction."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        capacity_bytes: int,
+        *,
+        store_states: bool = False,
+    ) -> None:
+        super().__init__(
+            model,
+            capacity_bytes,
+            eviction="lru",
+            alpha=None,
+            store_states=store_states,
+        )

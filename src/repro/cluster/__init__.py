@@ -1,0 +1,38 @@
+"""Cluster-level stateful serving: per-replica caches plus a prefix-aware router.
+
+Preble (Srivatsa et al., cited in the paper's related work) shows that when
+every GPU keeps its own prefix cache, the *router* becomes part of the
+caching policy: sending a request to the replica that already holds its
+longest prefix turns an R-way split cache back into (almost) one big cache,
+while naive load balancing scatters sessions and destroys reuse.
+
+This package provides the routing policies and a multi-replica
+discrete-event simulator to measure that effect with hybrid-model caches,
+where the stakes are higher than for Transformers: a mis-routed request
+doesn't just lose part of its KV reuse, it loses the *all-or-nothing*
+recurrent-state hit entirely.
+"""
+
+from repro.cluster.router import (
+    LeastLoadedRouter,
+    PrefixAffinityRouter,
+    RoundRobinRouter,
+    Router,
+    SessionAffinityRouter,
+    make_router,
+    probe_hit_tokens,
+)
+from repro.cluster.simulator import ClusterResult, ClusterSimulator, simulate_cluster
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "SessionAffinityRouter",
+    "PrefixAffinityRouter",
+    "make_router",
+    "probe_hit_tokens",
+    "ClusterSimulator",
+    "ClusterResult",
+    "simulate_cluster",
+]

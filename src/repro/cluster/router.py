@@ -1,0 +1,174 @@
+"""Routing policies for multi-replica stateful serving.
+
+A router sees each request at arrival (tokens, session, per-replica load)
+and picks the replica that will serve it.  The policies span the design
+space the Preble paper maps: load-only (round-robin, least-loaded),
+locality-only (session affinity), and the combined prefix-affinity policy
+that chases cached prefixes but spills to less-loaded replicas when the
+preferred one is overloaded.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.interfaces import as_token_array
+
+
+def probe_hit_tokens(cache: Any, tokens: np.ndarray) -> int:
+    """Read-only estimate of the hit a cache would serve for ``tokens``.
+
+    For radix-tree caches this mirrors the real hit rule (deepest exactly
+    matching checkpoint for hybrid models, raw match length for pure
+    Transformers) without mutating the tree.  Caches without a tree (e.g.
+    block stores) may expose their own ``probe`` method; anything else
+    reports 0, which degrades prefix affinity into least-loaded routing.
+    """
+    tokens = as_token_array(tokens)
+    if len(tokens) == 0:
+        return 0
+    probe = getattr(cache, "probe", None)
+    if callable(probe):
+        return int(probe(tokens))
+    tree = getattr(cache, "tree", None)
+    model = getattr(cache, "model", None)
+    if tree is None:
+        return 0
+    match = tree.match(tokens)
+    if model is not None and getattr(model, "has_recurrent_layers", False):
+        node = match.deepest_ssm_node(max_seq_len=len(tokens) - 1)
+        return node.seq_len if node is not None else 0
+    return min(match.matched_len, len(tokens) - 1)
+
+
+class Router(abc.ABC):
+    """Chooses a replica index for each arriving request."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def route(
+        self,
+        tokens: np.ndarray,
+        session_id: int,
+        caches: Sequence[Any],
+        loads: Sequence[int],
+        now: float,
+    ) -> int:
+        """Pick a replica.  ``loads`` are per-replica in-flight request counts."""
+
+    def reset(self) -> None:
+        """Clear any internal state."""
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas regardless of content or load."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, tokens, session_id, caches, loads, now) -> int:
+        index = self._next % len(caches)
+        self._next += 1
+        return index
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class LeastLoadedRouter(Router):
+    """Send each request to the replica with the fewest in-flight requests.
+
+    Ties rotate round-robin: under light load (all replicas idle) a fixed
+    tie-break would pile every request onto replica 0 and thrash its cache
+    while the others sit empty.
+    """
+
+    name = "least_loaded"
+
+    def __init__(self) -> None:
+        self._rotation = 0
+
+    def _pick(self, loads: Sequence[int]) -> int:
+        floor = min(loads)
+        candidates = [i for i, load in enumerate(loads) if load == floor]
+        choice = candidates[self._rotation % len(candidates)]
+        self._rotation += 1
+        return choice
+
+    def route(self, tokens, session_id, caches, loads, now) -> int:
+        return self._pick(loads)
+
+    def reset(self) -> None:
+        self._rotation = 0
+
+
+class SessionAffinityRouter(Router):
+    """Hash each session to a fixed replica (sticky sessions).
+
+    Keeps within-session (input + output) reuse intact but spreads shared
+    cross-session prefixes over all replicas, each of which must cache its
+    own copy.
+    """
+
+    name = "session_affinity"
+
+    def route(self, tokens, session_id, caches, loads, now) -> int:
+        digest = zlib.crc32(int(session_id).to_bytes(8, "little", signed=True))
+        return digest % len(caches)
+
+
+class PrefixAffinityRouter(Router):
+    """Route to the replica holding the longest cached prefix (Preble-style).
+
+    ``max_imbalance`` bounds how much queueing the affinity is worth: when
+    the preferred replica's in-flight count exceeds the cluster minimum by
+    more than this many requests, the request spills to the least-loaded
+    replica instead (it will re-warm that cache for its session's later
+    rounds).  Requests with no cached prefix anywhere go least-loaded with
+    a rotating tie-break, spreading cold sessions across the cluster.
+    """
+
+    name = "prefix_affinity"
+
+    def __init__(self, max_imbalance: int = 4) -> None:
+        if max_imbalance < 0:
+            raise ValueError(f"max_imbalance must be non-negative, got {max_imbalance}")
+        self.max_imbalance = max_imbalance
+        self._fallback = LeastLoadedRouter()
+
+    def route(self, tokens, session_id, caches, loads, now) -> int:
+        hits = [probe_hit_tokens(cache, tokens) for cache in caches]
+        best = int(max(range(len(caches)), key=lambda i: (hits[i], -loads[i], -i)))
+        floor = min(loads)
+        if hits[best] == 0 or loads[best] - floor > self.max_imbalance:
+            return self._fallback._pick(loads)
+        return best
+
+    def reset(self) -> None:
+        self._fallback.reset()
+
+
+_ROUTERS = {
+    "round_robin": RoundRobinRouter,
+    "least_loaded": LeastLoadedRouter,
+    "session_affinity": SessionAffinityRouter,
+    "prefix_affinity": PrefixAffinityRouter,
+}
+
+ROUTER_NAMES: tuple[str, ...] = tuple(sorted(_ROUTERS))
+
+
+def make_router(name: str, **kwargs: Any) -> Router:
+    """Instantiate a router by name (see :data:`ROUTER_NAMES`)."""
+    try:
+        factory = _ROUTERS[name]
+    except KeyError:
+        raise KeyError(f"unknown router {name!r}; known: {ROUTER_NAMES}") from None
+    return factory(**kwargs)

@@ -1,0 +1,277 @@
+"""Discrete-event simulator for a cluster of cache-owning replicas.
+
+Each replica is one prefill executor with its own prefix cache (the Preble
+deployment model).  The router assigns requests at *arrival*; from there a
+request lives entirely on its replica: FCFS queueing, cache lookup at
+service start, background decode, admission at decode end, and closed-loop
+scheduling of the session's next round (which is routed afresh — a session
+can migrate if the router decides so).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import CacheProtocol
+from repro.engine.latency import LatencyModel
+from repro.engine.request import EngineRequest
+from repro.engine.results import EngineResult, RequestRecord
+from repro.cluster.router import Router
+from repro.metrics.fairness import coefficient_of_variation, jain_fairness
+from repro.models.config import ModelConfig
+from repro.models.flops import model_prefill_flops
+from repro.workloads.trace import Trace, TraceSession
+
+
+class _EventKind(enum.IntEnum):
+    # Completions before prefill-done before arrivals at equal timestamps,
+    # mirroring the single-replica engine's visibility guarantees.
+    PREFILL_DONE = 0
+    REQUEST_COMPLETE = 1
+    REQUEST_ARRIVAL = 2
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    kind: int
+    seq: int
+    payload: Any = field(compare=False)
+
+
+@dataclass
+class _InFlight:
+    request: EngineRequest
+    replica: int
+    handle: Any
+    hit_tokens: int
+    reused_bytes: int
+    reused_secondary_bytes: int
+    service_start: float
+    prefill_seconds: float
+
+
+@dataclass
+class ClusterResult:
+    """Everything measured about one (trace, router, caches) cluster run."""
+
+    router: str
+    replica_results: list[EngineResult]
+    routed_counts: list[int]
+    busy_seconds: list[float]
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replica_results)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(r.n_requests for r in self.replica_results)
+
+    @property
+    def token_hit_rate(self) -> float:
+        """Cluster-wide tokens served from cache over total input tokens."""
+        total_input = sum(
+            rec.input_len for result in self.replica_results for rec in result.records
+        )
+        if total_input == 0:
+            return 0.0
+        total_hit = sum(
+            rec.hit_tokens for result in self.replica_results for rec in result.records
+        )
+        return total_hit / total_input
+
+    def ttfts(self) -> np.ndarray:
+        """All replicas' per-request TTFTs (seconds), unordered."""
+        values = [
+            rec.ttft for result in self.replica_results for rec in result.records
+        ]
+        return np.asarray(values, dtype=np.float64)
+
+    def ttft_percentile(self, percentile: float) -> float:
+        """Cluster-wide TTFT percentile in seconds."""
+        values = self.ttfts()
+        if len(values) == 0:
+            raise ValueError("no records to take a percentile of")
+        return float(np.percentile(values, percentile))
+
+    @property
+    def load_fairness(self) -> float:
+        """Jain's index over per-replica busy time (1.0 = perfectly even)."""
+        return jain_fairness(self.busy_seconds)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Coefficient of variation of per-replica busy time."""
+        return coefficient_of_variation(self.busy_seconds)
+
+
+class ClusterSimulator:
+    """Replays one trace through R replicas under one routing policy."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        caches: Sequence[CacheProtocol],
+        router: Router,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        if not caches:
+            raise ValueError("need at least one replica cache")
+        self.model = model
+        self.caches = list(caches)
+        self.router = router
+        self.latency = latency or LatencyModel()
+        self._seq = itertools.count()
+
+    def run(self, trace: Trace) -> ClusterResult:
+        """Simulate the full trace across all replicas under the router."""
+        n = len(self.caches)
+        heap: list[_Event] = []
+        queues: list[list[EngineRequest]] = [[] for _ in range(n)]
+        busy = [False] * n
+        busy_seconds = [0.0] * n
+        routed_counts = [0] * n
+        results = [
+            EngineResult(policy=f"{self.router.name}/replica{i}") for i in range(n)
+        ]
+
+        def push(time: float, kind: _EventKind, payload: Any) -> None:
+            heapq.heappush(heap, _Event(time, int(kind), next(self._seq), payload))
+
+        def loads() -> list[int]:
+            return [len(queues[i]) + (1 if busy[i] else 0) for i in range(n)]
+
+        def start_next(replica: int, now: float) -> None:
+            if busy[replica] or not queues[replica]:
+                return
+            request = queues[replica].pop(0)
+            lookup = self.caches[replica].lookup(request.input_tokens, now)
+            prefill_seconds = self.latency.prefill_seconds(
+                self.model,
+                seq_len=request.input_len,
+                reused_len=lookup.hit_tokens,
+                reused_bytes=lookup.reused_bytes,
+                secondary_bytes=getattr(lookup, "reused_secondary_bytes", 0),
+            )
+            busy[replica] = True
+            push(
+                now + prefill_seconds,
+                _EventKind.PREFILL_DONE,
+                _InFlight(
+                    request=request,
+                    replica=replica,
+                    handle=lookup.handle,
+                    hit_tokens=lookup.hit_tokens,
+                    reused_bytes=lookup.reused_bytes,
+                    reused_secondary_bytes=getattr(lookup, "reused_secondary_bytes", 0),
+                    service_start=now,
+                    prefill_seconds=prefill_seconds,
+                ),
+            )
+
+        def admit_arrival(request: EngineRequest, now: float) -> None:
+            replica = self.router.route(
+                request.input_tokens, request.session_id, self.caches, loads(), now
+            )
+            if not 0 <= replica < n:
+                raise ValueError(
+                    f"router {self.router.name!r} returned invalid replica {replica}"
+                )
+            routed_counts[replica] += 1
+            queues[replica].append(request)
+            start_next(replica, now)
+
+        for session in trace.sessions:
+            push(
+                session.arrival_time,
+                _EventKind.REQUEST_ARRIVAL,
+                self._make_request(session, 0, session.arrival_time),
+            )
+
+        sessions_by_id = {s.session_id: s for s in trace.sessions}
+        while heap:
+            event = heapq.heappop(heap)
+            now = event.time
+            if event.kind == _EventKind.REQUEST_ARRIVAL:
+                admit_arrival(event.payload, now)
+            elif event.kind == _EventKind.PREFILL_DONE:
+                flight: _InFlight = event.payload
+                request = flight.request
+                results[flight.replica].records.append(
+                    RequestRecord(
+                        session_id=request.session_id,
+                        round_index=request.round_index,
+                        arrival_time=request.arrival_time,
+                        service_start=flight.service_start,
+                        prefill_seconds=flight.prefill_seconds,
+                        ttft=now - request.arrival_time,
+                        input_len=request.input_len,
+                        hit_tokens=flight.hit_tokens,
+                        output_len=request.output_len,
+                        reused_bytes=flight.reused_bytes,
+                        flops_saved=model_prefill_flops(self.model, flight.hit_tokens),
+                    )
+                )
+                busy_seconds[flight.replica] += flight.prefill_seconds
+                busy[flight.replica] = False
+                push(
+                    now + self.latency.decode_seconds(request.output_len),
+                    _EventKind.REQUEST_COMPLETE,
+                    flight,
+                )
+                start_next(flight.replica, now)
+            else:  # REQUEST_COMPLETE
+                flight = event.payload
+                request = flight.request
+                self.caches[flight.replica].admit(
+                    request.full_tokens, now, handle=flight.handle
+                )
+                session = sessions_by_id[request.session_id]
+                next_round = request.round_index + 1
+                if next_round < session.n_rounds:
+                    arrival = now + session.think_times[next_round]
+                    push(
+                        arrival,
+                        _EventKind.REQUEST_ARRIVAL,
+                        self._make_request(session, next_round, arrival),
+                    )
+
+        for index, cache in enumerate(self.caches):
+            if hasattr(cache, "stats"):
+                results[index].cache_stats = cache.stats.snapshot()
+        return ClusterResult(
+            router=self.router.name,
+            replica_results=results,
+            routed_counts=routed_counts,
+            busy_seconds=busy_seconds,
+        )
+
+    @staticmethod
+    def _make_request(
+        session: TraceSession, round_index: int, arrival: float
+    ) -> EngineRequest:
+        return EngineRequest(
+            session_id=session.session_id,
+            round_index=round_index,
+            arrival_time=arrival,
+            input_tokens=session.full_input(round_index),
+            full_tokens=session.full_sequence(round_index),
+        )
+
+
+def simulate_cluster(
+    model: ModelConfig,
+    caches: Sequence[CacheProtocol],
+    router: Router,
+    trace: Trace,
+    latency: Optional[LatencyModel] = None,
+) -> ClusterResult:
+    """One-call convenience wrapper around :class:`ClusterSimulator`."""
+    return ClusterSimulator(model, caches, router, latency).run(trace)

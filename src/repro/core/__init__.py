@@ -1,0 +1,61 @@
+"""Marconi's core: the radix-tree prefix cache with judicious admission and
+FLOP-aware eviction.
+
+The public entry point is :class:`~repro.core.cache.MarconiCache`; the
+supporting pieces (tree, eviction policies, alpha tuner) are exported for
+direct use by tests, baselines, and ablation benchmarks.
+"""
+
+from repro.core.interfaces import (
+    AdmitResult,
+    LookupResult,
+    PrefixCache,
+)
+from repro.core.node import RadixNode
+from repro.core.radix_tree import InsertOutcome, MatchResult, RadixTree
+from repro.core.admission import SpeculativeInsertReport, speculative_insert
+from repro.core.eviction import (
+    EvictionCandidate,
+    EvictionPolicy,
+    FlopAwareEviction,
+    GDSEviction,
+    GDSFEviction,
+    LFUEviction,
+    LRUEviction,
+    LRUKEviction,
+    RandomEviction,
+    make_eviction_policy,
+)
+from repro.core.alpha_tuner import AlphaTuner, AlphaTunerConfig
+from repro.core.cache import MarconiCache
+from repro.core.persistence import load_cache, load_tree, save_cache
+from repro.core.stats import CacheStats
+
+__all__ = [
+    "AdmitResult",
+    "LookupResult",
+    "PrefixCache",
+    "RadixNode",
+    "RadixTree",
+    "MatchResult",
+    "InsertOutcome",
+    "SpeculativeInsertReport",
+    "speculative_insert",
+    "EvictionCandidate",
+    "EvictionPolicy",
+    "LRUEviction",
+    "FlopAwareEviction",
+    "GDSEviction",
+    "GDSFEviction",
+    "LFUEviction",
+    "LRUKEviction",
+    "RandomEviction",
+    "make_eviction_policy",
+    "AlphaTuner",
+    "AlphaTunerConfig",
+    "MarconiCache",
+    "CacheStats",
+    "save_cache",
+    "load_cache",
+    "load_tree",
+]

@@ -1,0 +1,81 @@
+"""Judicious admission: the speculative-insertion step (paper section 4.1).
+
+Marconi's admission policy checkpoints recurrent states only where the
+prefix-reuse taxonomy predicts reuse:
+
+* **Purely-input prefixes** (system prompts, few-shot examples, shared
+  instructions) appear as *branch points*: if speculatively inserting an
+  upcoming request's input into the radix tree would create a new
+  intermediate node — i.e. the input shares a proper prefix with a
+  previously observed sequence — that shared prefix is hot and its state is
+  worth checkpointing during the upcoming prefill.
+* **Input-and-output prefixes** (conversation histories, agent
+  trajectories) resume from the *last decoded token*, so the state after
+  the final decoding step is checkpointed for every sequence.
+
+This module provides the non-mutating speculative check; the cache performs
+the actual insertion (which reports the same branch point) when it commits
+the input path at prefill time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.radix_tree import RadixTree, common_prefix_length
+
+
+@dataclass(frozen=True)
+class SpeculativeInsertReport:
+    """What inserting a candidate input sequence would do to the tree.
+
+    Attributes
+    ----------
+    would_split_edge:
+        True when insertion creates a new intermediate node — the signal
+        that a "purely input" shared prefix exists and should be
+        checkpointed.
+    branch_position:
+        Prefix length (token count) of the would-be intermediate node;
+        ``None`` when no split would occur.
+    matched_len:
+        Raw common-prefix length between the input and the tree.
+    """
+
+    would_split_edge: bool
+    branch_position: Optional[int]
+    matched_len: int
+
+
+def speculative_insert(tree: RadixTree, tokens: np.ndarray) -> SpeculativeInsertReport:
+    """Dry-run an insertion of ``tokens`` and report any would-be branch point.
+
+    Mirrors :meth:`repro.core.radix_tree.RadixTree.insert` exactly but never
+    mutates the tree.  At most one edge split can result from inserting a
+    single sequence, so at most one branch position is reported.
+    """
+    node = tree.root
+    pos = 0
+    while pos < len(tokens):
+        child = node.child_for(tokens[pos])
+        if child is None:
+            # Fresh suffix under an existing node: adds a leaf, no split.
+            return SpeculativeInsertReport(
+                would_split_edge=False, branch_position=None, matched_len=pos
+            )
+        shared = common_prefix_length(child.edge_tokens, tokens[pos:])
+        pos += shared
+        if shared < len(child.edge_tokens):
+            # Insertion would split this edge after `shared` tokens, either
+            # because the input diverges mid-edge or because it ends there.
+            return SpeculativeInsertReport(
+                would_split_edge=True, branch_position=pos, matched_len=pos
+            )
+        node = child
+    # Input is exactly a node boundary path: nothing new would be created.
+    return SpeculativeInsertReport(
+        would_split_edge=False, branch_position=None, matched_len=pos
+    )

@@ -1,0 +1,493 @@
+"""`MarconiCache`: the paper's prefix cache (admission + eviction + accounting).
+
+The cache manages KVs and recurrent states *holistically in one radix tree*
+(section 4): each node owns the KVs of its edge and, when checkpointed, one
+full-model recurrent state.  The serving engine drives the two-phase
+protocol of :class:`repro.core.interfaces.PrefixCache`:
+
+``lookup`` (prefill start)
+    * finds the longest reusable prefix — for hybrid models the deepest
+      exactly-matching checkpointed node; for pure Transformers the raw
+      common-prefix length,
+    * commits the input path into the tree (charging its KV bytes), and
+    * when the insertion splits an edge — the speculative-insertion signal
+      that a "purely input" shared prefix exists — checkpoints the new
+      branch-point node.
+
+``admit`` (decode end)
+    * extends the path with the generated tokens and checkpoints the state
+      of the last decoded token, the resume point of "input + output" reuse.
+
+Pinning protects the states of in-flight requests between the two phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.alpha_tuner import AlphaTuner, AlphaTunerConfig
+from repro.core.eviction import (
+    EvictionCandidate,
+    EvictionPolicy,
+    FlopAwareEviction,
+    make_eviction_policy,
+)
+from repro.core.interfaces import AdmitResult, LookupResult, PrefixCache, as_token_array
+from repro.core.node import RadixNode
+from repro.core.radix_tree import RadixTree
+from repro.core.stats import CacheStats
+from repro.models.config import ModelConfig
+from repro.models.efficiency import node_flop_efficiency
+from repro.models.flops import model_prefill_flops
+from repro.models.memory import (
+    kv_bytes,
+    kv_bytes_per_token,
+    model_recurrent_bytes,
+    node_state_bytes,
+)
+
+
+@dataclass
+class _RequestHandle:
+    """Ties a lookup to its admit; opaque to callers."""
+
+    input_len: int
+    end_node: Optional[RadixNode] = None
+    pinned_node: Optional[RadixNode] = None
+    branch_node: Optional[RadixNode] = None
+    rolled_back: bool = False
+    closed: bool = False
+
+
+@dataclass
+class MarconiCacheConfig:
+    """Tunables for :class:`MarconiCache` beyond model and capacity."""
+
+    eviction: str = "flop_aware"
+    alpha: Optional[float] = None  # None => bootstrap auto-tuning
+    tuner: AlphaTunerConfig = field(default_factory=AlphaTunerConfig)
+    store_states: bool = False
+
+
+class MarconiCache(PrefixCache):
+    """Prefix cache for hybrid (and pure) LLMs with Marconi's policies.
+
+    Parameters
+    ----------
+    model:
+        Architecture whose states are being cached; drives all byte and
+        FLOP accounting and the hit semantics (exact-match checkpoints for
+        hybrid models, token-granular KV reuse for pure Transformers).
+    capacity_bytes:
+        Cache budget.
+    eviction:
+        ``"flop_aware"`` (Marconi), ``"lru"`` (SGLang+ / policy V1), or one
+        of the ablation comparators (``"gdsf"``, ``"gds"``, ``"lfu"``,
+        ``"lru_k"``, ``"random"``); see
+        :func:`repro.core.eviction.make_eviction_policy`.
+    alpha:
+        Fixed FLOP-efficiency weight.  ``None`` with ``flop_aware`` enables
+        the paper's bootstrap tuner: LRU behaviour (``alpha = 0``) until the
+        first eviction, a recording window, then a grid-search replay that
+        adopts the hit-rate-maximizing alpha.
+    store_states:
+        When True, checkpoint nodes carry caller-provided model-state
+        payloads (used by the executable-model serving layer).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        capacity_bytes: int,
+        *,
+        eviction: str = "flop_aware",
+        alpha: Optional[float] = None,
+        tuner_config: Optional[AlphaTunerConfig] = None,
+        store_states: bool = False,
+        efficiency_mode: str = "prefix_per_freed",
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self.model = model
+        self._capacity = int(capacity_bytes)
+        self._eviction_name = eviction
+        self._fixed_alpha = alpha
+        self.store_states = store_states
+        self.efficiency_mode = efficiency_mode
+        self._tuner_config = tuner_config or AlphaTunerConfig()
+
+        self.tree = RadixTree()
+        self._used = 0
+        self._stats = CacheStats()
+        self.tuner: Optional[AlphaTuner] = None
+        self.policy: EvictionPolicy = self._build_policy()
+
+    def _build_policy(self) -> EvictionPolicy:
+        if self._eviction_name == "flop_aware" and self._fixed_alpha is None:
+            # Auto-tuning mode: behave as LRU (alpha = 0) until tuned.
+            self.tuner = AlphaTuner(self._tuner_config)
+            return FlopAwareEviction(alpha=0.0)
+        self.tuner = None
+        return make_eviction_policy(self._eviction_name, self._fixed_alpha)
+
+    # ------------------------------------------------------------------
+    # PrefixCache surface
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    @property
+    def alpha(self) -> float:
+        """Current FLOP-efficiency weight (0.0 for LRU/GDSF policies)."""
+        if isinstance(self.policy, FlopAwareEviction):
+            return self.policy.alpha
+        return 0.0
+
+    def reset(self) -> None:
+        self.tree = RadixTree()
+        self._used = 0
+        self._stats = CacheStats()
+        self.policy = self._build_policy()
+
+    # ------------------------------------------------------------------
+    # Lookup (prefill start)
+    # ------------------------------------------------------------------
+    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult:
+        tokens = as_token_array(tokens)
+        if len(tokens) == 0:
+            raise ValueError("cannot look up an empty token sequence")
+        match = self.tree.match(tokens)
+
+        hit_tokens = 0
+        reused_bytes = 0
+        payload = None
+        if self.model.has_recurrent_layers:
+            # All-or-nothing: the hit must end exactly on a checkpointed node,
+            # and at least the final input token must be prefilled to produce
+            # the first decode step's logits.
+            hit_node = match.deepest_ssm_node(max_seq_len=len(tokens) - 1)
+            if hit_node is not None:
+                hit_tokens = hit_node.seq_len
+                reused_bytes = kv_bytes(self.model, hit_tokens) + model_recurrent_bytes(
+                    self.model
+                )
+                hit_node.touch(now)
+                self.policy.notify_access(hit_node, now)
+                payload = hit_node.state_payload
+        else:
+            # Pure Transformer: KVs slice at token granularity.
+            hit_tokens = min(match.matched_len, len(tokens) - 1)
+            if hit_tokens > 0:
+                reused_bytes = kv_bytes(self.model, hit_tokens)
+                if match.path:
+                    match.path[-1].touch(now)
+                    self.policy.notify_access(match.path[-1], now)
+
+        self._stats.record_lookup(hit_tokens, len(tokens))
+        self._stats.flops_saved += model_prefill_flops(self.model, hit_tokens)
+
+        # Commit the input path (every system admits all KVs of the sequence;
+        # Marconi is judicious only about recurrent checkpoints).
+        outcome = self.tree.insert(tokens, now)
+        outcome.end_node.last_access = now
+        self.tree.pin_path(outcome.end_node)
+        handle = _RequestHandle(
+            input_len=len(tokens),
+            end_node=outcome.end_node,
+            pinned_node=outcome.end_node,
+        )
+
+        branch = outcome.split_node
+        want_branch_checkpoint = (
+            self.model.has_recurrent_layers
+            and branch is not None
+            and not branch.has_ssm_state
+        )
+        kv_cost = outcome.new_edge_tokens * kv_bytes_per_token(self.model)
+        branch_cost = model_recurrent_bytes(self.model) if want_branch_checkpoint else 0
+
+        if self._ensure_free(kv_cost + branch_cost):
+            self._used += kv_cost + branch_cost
+            if want_branch_checkpoint:
+                assert branch is not None
+                branch.has_ssm_state = True
+                branch.last_access = now
+                handle.branch_node = branch
+        elif self._ensure_free(kv_cost):
+            # Cache pressure: keep the KVs, drop the branch checkpoint.
+            self._used += kv_cost
+        elif self._charge_partial_leaf(outcome) == 0:
+            # Not even a prefix of the input KVs fits (pinned working set
+            # exceeds capacity): serve the request without caching its path.
+            self._rollback_input_insert(handle, outcome)
+
+        checkpoint_positions = (
+            [handle.branch_node.seq_len] if handle.branch_node is not None else []
+        )
+        return LookupResult(
+            hit_tokens=hit_tokens,
+            input_tokens=len(tokens),
+            reused_bytes=reused_bytes,
+            handle=handle,
+            checkpoint_positions=checkpoint_positions,
+            state_payload=payload,
+        )
+
+    def _charge_partial_leaf(self, outcome) -> int:
+        """Truncate the just-inserted leaf to the longest affordable prefix.
+
+        Called after eviction could not make room for the full new edge;
+        whatever freeable space remains determines how many of the new
+        tokens' KVs are kept.  Returns the bytes charged (0 when nothing
+        fits or there is no new leaf to shrink).
+        """
+        leaf = outcome.new_leaf
+        if leaf is None or leaf.parent is None or leaf.has_ssm_state:
+            return 0
+        per_token = kv_bytes_per_token(self.model)
+        if per_token <= 0:
+            return 0
+        affordable = (self._capacity - self._used) // per_token
+        if affordable <= 0 or affordable >= leaf.kv_tokens:
+            return 0
+        self.tree.truncate_leaf(leaf, int(affordable))
+        charged = int(affordable) * per_token
+        self._used += charged
+        return charged
+
+    def _rollback_input_insert(self, handle: _RequestHandle, outcome) -> None:
+        """Undo a just-committed input path that cannot be afforded."""
+        assert handle.pinned_node is not None
+        self.tree.unpin_path(handle.pinned_node)
+        handle.pinned_node = None
+        handle.end_node = None
+        handle.rolled_back = True
+        if outcome.new_leaf is not None and outcome.new_leaf.parent is not None:
+            self.tree.remove_leaf(outcome.new_leaf)
+        split = outcome.split_node
+        if (
+            split is not None
+            and split.parent is not None
+            and split.n_children == 1
+            and not split.has_ssm_state
+            and not split.is_pinned
+        ):
+            # Restore the original un-split edge.
+            self.tree.merge_into_child(split)
+        self._stats.record_admission(0, rejected=True)
+
+    # ------------------------------------------------------------------
+    # Admit (decode end)
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        tokens: np.ndarray,
+        now: float,
+        handle: Any = None,
+        state_payload: Any = None,
+    ) -> AdmitResult:
+        tokens = as_token_array(tokens)
+        if len(tokens) == 0:
+            raise ValueError("cannot admit an empty token sequence")
+        if handle is not None and not isinstance(handle, _RequestHandle):
+            raise TypeError(f"handle must come from lookup(), got {type(handle)!r}")
+        if handle is not None:
+            if handle.closed:
+                raise ValueError("handle was already admitted")
+            handle.closed = True
+            if handle.rolled_back:
+                # The input path was never cached; skip the output too.
+                self._finish_request(now, handle.input_len, tokens)
+                return AdmitResult(rejected=True)
+            input_len = handle.input_len
+        else:
+            input_len = len(tokens)
+
+        evicted_before = self._stats.evicted_bytes
+        outcome = self.tree.insert(tokens, now)
+        end = outcome.end_node
+        # Protect the not-yet-charged extension (and the nodes the upcoming
+        # eviction pass must not merge into it) before freeing space; the
+        # lookup-time pin, if any, is released only afterwards so the path
+        # is never exposed in between.
+        self.tree.pin_path(end)
+        if handle is not None and handle.pinned_node is not None:
+            self.tree.unpin_path(handle.pinned_node)
+            handle.pinned_node = None
+        want_leaf_checkpoint = (
+            self.model.has_recurrent_layers and not end.has_ssm_state
+        )
+        kv_cost = outcome.new_edge_tokens * kv_bytes_per_token(self.model)
+        leaf_cost = model_recurrent_bytes(self.model) if want_leaf_checkpoint else 0
+
+        rejected = False
+        admitted = 0
+        if self._ensure_free(kv_cost + leaf_cost):
+            self._used += kv_cost + leaf_cost
+            admitted = kv_cost + leaf_cost
+            if want_leaf_checkpoint:
+                end.has_ssm_state = True
+            end.last_access = now
+            if self.store_states and self.model.has_recurrent_layers:
+                end.state_payload = state_payload
+            self.tree.unpin_path(end)
+        elif self._ensure_free(kv_cost):
+            # The checkpoint doesn't fit but the KVs do: admit KV-only.
+            self._used += kv_cost
+            admitted = kv_cost
+            end.last_access = now
+            self.tree.unpin_path(end)
+        else:
+            # Keep the longest affordable KV prefix of the extension (block
+            # caches do the same by admitting as many prefix blocks as fit);
+            # no checkpoint, since it would represent the untruncated edge.
+            admitted = self._charge_partial_leaf(outcome)
+            rejected = admitted == 0
+            self.tree.unpin_path(end)
+            if rejected and outcome.new_leaf is not None and outcome.new_leaf.parent is not None:
+                self.tree.remove_leaf(outcome.new_leaf)
+        self._stats.record_admission(admitted, rejected=rejected)
+
+        self._finish_request(now, input_len, tokens)
+        return AdmitResult(
+            admitted_bytes=admitted,
+            evicted_bytes=self._stats.evicted_bytes - evicted_before,
+            rejected=rejected,
+        )
+
+    def attach_branch_state(self, handle: Any, position: int, payload: Any) -> None:
+        """Attach a materialized model state to this request's branch checkpoint.
+
+        Only meaningful with ``store_states=True``; the engine calls this
+        after checkpointing the state at ``position`` during prefill.
+        """
+        if not isinstance(handle, _RequestHandle):
+            raise TypeError("handle must come from lookup()")
+        node = handle.branch_node
+        if node is None or node.seq_len != position:
+            raise ValueError(f"no pending branch checkpoint at position {position}")
+        if self.store_states:
+            node.state_payload = payload
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _node_bytes(self, node: RadixNode) -> int:
+        return node_state_bytes(self.model, node.kv_tokens, node.has_ssm_state)
+
+    def _freeable_bytes(self, node: RadixNode) -> int:
+        if node.is_leaf:
+            return self._node_bytes(node)
+        # Single-child intermediate node: only the checkpoint is released;
+        # its KVs are absorbed by the child.
+        if node.has_ssm_state:
+            return model_recurrent_bytes(self.model)
+        return 0
+
+    def _collect_candidates(self) -> list[EvictionCandidate]:
+        candidates = []
+        for node in self.tree.iter_nodes():
+            if node.is_pinned or node.n_children > 1:
+                continue
+            freeable = self._freeable_bytes(node)
+            if freeable <= 0:
+                continue
+            efficiency = node_flop_efficiency(
+                self.model,
+                node.seq_len,
+                node.parent_seq_len,
+                freeable,
+                mode=self.efficiency_mode,
+            )
+            candidates.append(
+                EvictionCandidate(
+                    node=node,
+                    freeable_bytes=freeable,
+                    flop_efficiency=efficiency,
+                    last_access=node.last_access,
+                    is_leaf=node.is_leaf,
+                )
+            )
+        return candidates
+
+    def _ensure_free(self, needed_bytes: int) -> bool:
+        """Evict until ``needed_bytes`` fit; False if that proves impossible."""
+        if needed_bytes > self._capacity:
+            return False
+        while self._capacity - self._used < needed_bytes:
+            candidates = self._collect_candidates()
+            if not candidates:
+                return False
+            victim = self.policy.select_victim(candidates)
+            self._apply_eviction(victim)
+            self.policy.notify_eviction(victim)
+            if self.tuner is not None:
+                self.tuner.note_eviction()
+        return True
+
+    def _apply_eviction(self, victim: EvictionCandidate) -> None:
+        node = victim.node
+        freed = victim.freeable_bytes
+        if node.is_leaf:
+            self.tree.remove_leaf(node)
+        else:
+            node.has_ssm_state = False
+            node.state_payload = None
+            self.tree.merge_into_child(node)
+        self._used -= freed
+        self._stats.record_eviction(freed)
+
+    # ------------------------------------------------------------------
+    # Alpha tuning plumbing
+    # ------------------------------------------------------------------
+    def _finish_request(
+        self, now: float, input_len: int, full_tokens: np.ndarray
+    ) -> None:
+        if self.tuner is None:
+            return
+        self.tuner.after_request(self, now, input_len, full_tokens)
+
+    def snapshot_for_replay(self) -> RadixTree:
+        """Structural snapshot the tuner replays the bootstrap window against."""
+        return self.tree.clone()
+
+    def make_replay_cache(self, alpha: float, snapshot: RadixTree) -> "MarconiCache":
+        """A throwaway cache seeded from ``snapshot`` with a fixed alpha."""
+        replica = MarconiCache(
+            self.model,
+            self._capacity,
+            eviction="flop_aware",
+            alpha=alpha,
+            store_states=False,
+            efficiency_mode=self.efficiency_mode,
+        )
+        replica.tree = snapshot.clone()
+        replica._used = sum(
+            replica._node_bytes(node) for node in replica.tree.iter_nodes()
+        )
+        return replica
+
+    def set_alpha(self, alpha: float) -> None:
+        """Adopt a (tuned) alpha; only valid for the flop-aware policy."""
+        if not isinstance(self.policy, FlopAwareEviction):
+            raise ValueError(f"policy {self.policy.name!r} has no alpha to set")
+        self.policy.alpha = alpha
+
+    # ------------------------------------------------------------------
+    # Introspection for tests
+    # ------------------------------------------------------------------
+    def recompute_used_bytes(self) -> int:
+        """Re-derive occupancy from the tree (the accounting invariant)."""
+        return sum(self._node_bytes(node) for node in self.tree.iter_nodes())

@@ -1,0 +1,311 @@
+"""Eviction policies: LRU, Marconi's FLOP-aware scoring, and classic comparators.
+
+Eviction candidates are radix nodes with at most one child (section 4.3):
+multi-child nodes are shared prefixes and are protected until their subtrees
+drain.  Evicting a leaf frees its KVs and checkpoint; evicting a single-child
+intermediate node frees only its checkpoint (the child absorbs the KVs), so
+candidates that would free zero bytes are filtered out before scoring to
+guarantee the eviction loop makes progress.
+
+Beyond the paper's LRU baseline and FLOP-aware contribution, this module
+carries the classic web-cache family section 4.2 positions Marconi against:
+GDSF (Cherkasova 1998) and plain greedy-dual-size ("GDS", whose 1/size cost
+signal is exactly the proxy the paper argues fails for fixed-size SSM
+states), plus LFU, LRU-K, and a seeded random floor for ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.node import RadixNode
+
+
+@dataclass
+class EvictionCandidate:
+    """One evictable node with everything the scoring policies need."""
+
+    node: RadixNode
+    freeable_bytes: int
+    flop_efficiency: float
+    last_access: float
+    is_leaf: bool
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        """Deterministic tie-break: older first, then smaller node id."""
+        return (self.last_access, self.node.node_id)
+
+
+class EvictionPolicy(abc.ABC):
+    """Chooses which candidate to evict next."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        """Pick the next victim from a non-empty candidate list."""
+
+    def notify_eviction(self, victim: EvictionCandidate) -> None:
+        """Hook called after a victim is actually evicted (GDSF's clock)."""
+
+    def notify_access(self, node: RadixNode, now: float) -> None:
+        """Hook called on every cache hit (LRU-K's access history)."""
+
+    def reset(self) -> None:
+        """Clear any internal state."""
+
+
+class LRUEviction(EvictionPolicy):
+    """Plain least-recently-used eviction — the SGLang+ baseline (policy V1)."""
+
+    name = "lru"
+
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        return min(candidates, key=lambda c: c.sort_key)
+
+
+class FlopAwareEviction(EvictionPolicy):
+    """Marconi's utility score: ``S(n) = recency(n) + alpha * flop_efficiency(n)``.
+
+    Both terms are min-max normalized over the current candidate set to
+    (0, 1), matching the paper's "normalized ... by comparing all nodes'
+    last-accessed timestamps and FLOP saved/byte in the radix tree".
+    ``alpha = 0`` degenerates to LRU; a large ``alpha`` ranks purely by
+    compute saved per byte.  ``alpha`` is mutable so the bootstrap tuner can
+    adopt the grid-search winner in place.
+    """
+
+    name = "flop_aware"
+
+    def __init__(self, alpha: float = 1.0, normalization: str = "rank") -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if normalization not in ("rank", "minmax"):
+            raise ValueError(f"normalization must be 'rank' or 'minmax', got {normalization!r}")
+        self.alpha = alpha
+        self.normalization = normalization
+
+    def _normalized(self, values: list[float]) -> list[float]:
+        if self.normalization == "rank":
+            return _rank_normalize(values)
+        return [_min_max_normalize(v, values) for v in values]
+
+    def scores(self, candidates: list[EvictionCandidate]) -> list[float]:
+        """Utility score of every candidate against the candidate set."""
+        recency = self._normalized([c.last_access for c in candidates])
+        efficiency = self._normalized([c.flop_efficiency for c in candidates])
+        return [r + self.alpha * e for r, e in zip(recency, efficiency)]
+
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        scored = zip(self.scores(candidates), (c.sort_key for c in candidates), candidates)
+        return min(scored, key=lambda item: (item[0], item[1]))[2]
+
+
+class GDSFEviction(EvictionPolicy):
+    """Greedy-Dual-Size-Frequency (Cherkasova 1998), adapted to cache entries.
+
+    ``H(n) = clock + hit_count * saved_flops / size``.  The paper discusses
+    GDSF as the classic size-aware scheme whose size signal fails for SSM
+    states; we include it as an ablation comparator.  Since ``saved_flops /
+    size`` is exactly FLOP efficiency, the adaptation uses it as the cost
+    term, with the standard inflating clock providing aging.
+    """
+
+    name = "gdsf"
+
+    def __init__(self) -> None:
+        self._clock = 0.0
+
+    def _priority(self, candidate: EvictionCandidate) -> float:
+        frequency = max(1, candidate.node.hit_count)
+        return self._clock + frequency * candidate.flop_efficiency
+
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        return min(candidates, key=lambda c: (self._priority(c), c.sort_key))
+
+    def notify_eviction(self, victim: EvictionCandidate) -> None:
+        self._clock = self._priority(victim)
+
+    def reset(self) -> None:
+        self._clock = 0.0
+
+
+class LFUEviction(EvictionPolicy):
+    """Least-frequently-used: evict the candidate with the fewest hits.
+
+    Frequency alone has the same blind spot as recency for hybrid states —
+    a never-hit checkpoint of a 30K-token prefix ties with a never-hit
+    16-token leaf — so this serves as an ablation comparator, with recency
+    breaking frequency ties.
+    """
+
+    name = "lfu"
+
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        return min(candidates, key=lambda c: (c.node.hit_count, c.sort_key))
+
+
+class LRUKEviction(EvictionPolicy):
+    """LRU-K (O'Neil 1993): evict the oldest K-th most recent access.
+
+    Tracks the last ``k`` access times per node via :meth:`notify_access`.
+    Nodes with fewer than ``k`` recorded accesses use ``-inf`` as their
+    K-th-access time (classic backward K-distance), so cold one-touch
+    entries are evicted before entries with an established reuse history —
+    the scan-resistance property LRU lacks.
+    """
+
+    name = "lru_k"
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._history: dict[int, deque[float]] = {}
+
+    def notify_access(self, node: RadixNode, now: float) -> None:
+        history = self._history.setdefault(node.node_id, deque(maxlen=self.k))
+        history.append(now)
+
+    def _kth_access(self, candidate: EvictionCandidate) -> float:
+        history = self._history.get(candidate.node.node_id)
+        if history is not None and len(history) >= self.k:
+            return history[0]
+        return float("-inf")
+
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        return min(candidates, key=lambda c: (self._kth_access(c), c.sort_key))
+
+    def notify_eviction(self, victim: EvictionCandidate) -> None:
+        self._history.pop(victim.node.node_id, None)
+
+    def reset(self) -> None:
+        self._history.clear()
+
+
+class GDSEviction(EvictionPolicy):
+    """Plain greedy-dual-size with unit cost: ``H(n) = clock + 1 / size``.
+
+    The textbook policy the paper's section 4.2 critique targets directly:
+    its only value signal is the entry's byte size, which for a hybrid
+    model's fixed-size recurrent checkpoints is unrelated to the compute a
+    hit saves.  Included so ablations can quantify how badly the size proxy
+    misprices long-prefix checkpoints.
+    """
+
+    name = "gds"
+
+    def __init__(self) -> None:
+        self._clock = 0.0
+
+    def _priority(self, candidate: EvictionCandidate) -> float:
+        return self._clock + 1.0 / max(1, candidate.freeable_bytes)
+
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        return min(candidates, key=lambda c: (self._priority(c), c.sort_key))
+
+    def notify_eviction(self, victim: EvictionCandidate) -> None:
+        self._clock = self._priority(victim)
+
+    def reset(self) -> None:
+        self._clock = 0.0
+
+
+class RandomEviction(EvictionPolicy):
+    """Uniform-random victim selection (seeded); the ablation floor."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        return self._rng.choice(candidates)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+def _min_max_normalize(value: float, values: list[float]) -> float:
+    """Min-max normalize ``value`` against ``values``; 1.0 when degenerate.
+
+    A degenerate set (all equal) makes the term uninformative; returning a
+    constant leaves the ranking to the other term and the tie-break.
+    """
+    low = min(values)
+    high = max(values)
+    if high <= low:
+        return 1.0
+    return (value - low) / (high - low)
+
+
+def _rank_normalize(values: list[float]) -> list[float]:
+    """Average-rank normalization into (0, 1], tie-aware.
+
+    Rank normalization makes the two utility terms scale-free: a node's
+    recency score no longer depends on how long the serving process has
+    been up, only on how it *compares* to the other candidates — the
+    reading of the paper's "normalized ... by comparing all nodes'
+    last-accessed timestamps and FLOP saved/byte".
+    """
+    n = len(values)
+    if n == 1:
+        return [1.0]
+    order = sorted(range(n), key=values.__getitem__)
+    ranks = [0.0] * n
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        # 1-based average rank for the tie group [i, j].
+        avg = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg / n
+        i = j + 1
+    return ranks
+
+
+_POLICIES = {
+    "lru": lambda alpha: LRUEviction(),
+    "flop_aware": lambda alpha: FlopAwareEviction(alpha if alpha is not None else 1.0),
+    "gdsf": lambda alpha: GDSFEviction(),
+    "gds": lambda alpha: GDSEviction(),
+    "lfu": lambda alpha: LFUEviction(),
+    "lru_k": lambda alpha: LRUKEviction(),
+    "random": lambda alpha: RandomEviction(),
+}
+
+
+def make_eviction_policy(name: str, alpha: float | None = None) -> EvictionPolicy:
+    """Instantiate an eviction policy by name.
+
+    Known names: ``lru``, ``flop_aware`` (uses ``alpha``), ``gdsf``,
+    ``gds``, ``lfu``, ``lru_k``, ``random``.
+    """
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown eviction policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None
+    return factory(alpha)

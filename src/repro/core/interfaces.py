@@ -1,0 +1,144 @@
+"""Common cache interfaces shared by Marconi and the baselines.
+
+Every policy implements the two-phase protocol the serving engine drives:
+
+1. :meth:`PrefixCache.lookup` at prefill start — returns how many input
+   tokens can skip prefill and performs any prefill-time bookkeeping the
+   policy requires (Marconi inserts the input path and plans branch-point
+   checkpoints here).
+2. :meth:`PrefixCache.admit` at decode end — hands the full sequence
+   (input + generated output) to the cache for admission.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.stats import CacheStats
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a prefill-time cache lookup.
+
+    Attributes
+    ----------
+    hit_tokens:
+        Number of leading input tokens whose prefill is skipped.
+    input_tokens:
+        Total number of input tokens in the request.
+    reused_bytes:
+        Bytes of cached state fetched to serve the hit (drives the fetch
+        term of the latency model).
+    reused_secondary_bytes:
+        Of ``reused_bytes``, the portion fetched from a second-tier store
+        (zero for single-tier caches); priced at the latency model's
+        slower secondary bandwidth.
+    handle:
+        Opaque policy-specific handle that must be passed back to
+        :meth:`PrefixCache.admit` for the same request.
+    checkpoint_positions:
+        Prefix lengths (in tokens) at which the policy asks the engine to
+        materialize recurrent states during this prefill (Marconi's
+        speculative-insertion branch points).  Empty for baselines.
+    state_payload:
+        When the cache stores real model states (``store_states=True``),
+        the payload checkpointed at the hit position; otherwise ``None``.
+    """
+
+    hit_tokens: int
+    input_tokens: int
+    reused_bytes: int = 0
+    reused_secondary_bytes: int = 0
+    handle: Any = None
+    checkpoint_positions: list[int] = field(default_factory=list)
+    state_payload: Any = None
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this request's input tokens served from cache."""
+        if self.input_tokens == 0:
+            return 0.0
+        return self.hit_tokens / self.input_tokens
+
+    @property
+    def is_hit(self) -> bool:
+        return self.hit_tokens > 0
+
+
+@dataclass
+class AdmitResult:
+    """Outcome of admitting a finished sequence into the cache."""
+
+    admitted_bytes: int = 0
+    evicted_bytes: int = 0
+    evicted_entries: int = 0
+    rejected: bool = False
+
+
+class PrefixCache(abc.ABC):
+    """Abstract prefix cache driven by the serving engine."""
+
+    @abc.abstractmethod
+    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult:
+        """Find the longest reusable prefix of ``tokens`` at time ``now``."""
+
+    @abc.abstractmethod
+    def admit(
+        self,
+        tokens: np.ndarray,
+        now: float,
+        handle: Any = None,
+        state_payload: Any = None,
+    ) -> AdmitResult:
+        """Admit a finished sequence (input + output tokens) at time ``now``."""
+
+    @property
+    @abc.abstractmethod
+    def capacity_bytes(self) -> int:
+        """Total cache capacity in bytes."""
+
+    @property
+    @abc.abstractmethod
+    def used_bytes(self) -> int:
+        """Bytes currently occupied by cached states."""
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> CacheStats:
+        """Aggregate counters for this cache instance."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Drop all cached state and zero the counters."""
+
+    # ------------------------------------------------------------------
+    # Shared conveniences
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        """Capacity currently unoccupied."""
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use."""
+        if self.capacity_bytes == 0:
+            return 0.0
+        return self.used_bytes / self.capacity_bytes
+
+
+def as_token_array(tokens: Any) -> np.ndarray:
+    """Coerce ``tokens`` (sequence of ints or ndarray) to a 1-D int32 array.
+
+    All caches operate on int32 token IDs; accepting lists keeps the public
+    API ergonomic for examples and tests.
+    """
+    arr = np.asarray(tokens, dtype=np.int32)
+    if arr.ndim != 1:
+        raise ValueError(f"token sequence must be 1-D, got shape {arr.shape}")
+    return arr

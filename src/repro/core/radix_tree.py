@@ -1,0 +1,323 @@
+"""Token-level radix tree over request histories (paper section 4.1).
+
+The tree is the bookkeeping structure behind Marconi's admission policy:
+edges are labeled with token arrays of arbitrary length, nodes mark
+branch-off points and sequence ends, and each node owns the KVs of its edge
+plus (optionally) one recurrent checkpoint for its full prefix.
+
+The tree itself is purely structural — byte accounting and policy decisions
+live in :mod:`repro.core.cache` so that the same tree serves Marconi,
+SGLang+, and the ablation variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.node import RadixNode
+
+
+def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
+    """Length of the longest common prefix of two int token arrays."""
+    limit = min(len(a), len(b))
+    if limit == 0:
+        return 0
+    mismatch = a[:limit] != b[:limit]
+    first = int(np.argmax(mismatch))
+    if mismatch[first]:
+        return first
+    return limit
+
+
+@dataclass
+class MatchResult:
+    """Result of walking ``tokens`` down the tree without mutating it.
+
+    Attributes
+    ----------
+    matched_len:
+        Raw common-prefix length between the query and the tree's contents
+        (may end mid-edge).  This is the KV-reusable length for pure
+        Transformers.
+    path:
+        Fully matched non-root nodes in root→deepest order.  Candidate
+        recurrent-state hits are the nodes in this list with
+        ``has_ssm_state`` — an SSM hit must end exactly on a node (the
+        "all or nothing" property of section 3).
+    """
+
+    matched_len: int
+    path: list[RadixNode] = field(default_factory=list)
+
+    @property
+    def deepest_node(self) -> Optional[RadixNode]:
+        return self.path[-1] if self.path else None
+
+    def deepest_ssm_node(self, max_seq_len: int) -> Optional[RadixNode]:
+        """Deepest matched checkpoint usable for a prefix of ``max_seq_len``."""
+        for node in reversed(self.path):
+            if node.has_ssm_state and node.seq_len <= max_seq_len:
+                return node
+        return None
+
+
+@dataclass
+class InsertOutcome:
+    """Result of inserting a token sequence.
+
+    Attributes
+    ----------
+    end_node:
+        The node whose path equals the inserted sequence.
+    new_leaf:
+        Leaf created for the non-shared suffix (``None`` when the sequence
+        was already fully present or ends exactly at a split point).
+    split_node:
+        Intermediate node created by splitting an existing edge (``None``
+        when no split occurred).  At most one split can happen per insert.
+        Split nodes are exactly the "purely input" branch points the
+        admission policy checkpoints.
+    new_edge_tokens:
+        Number of tokens added to the tree as fresh edge material (the KV
+        bytes the cache must charge).  Splits redistribute tokens and add 0.
+    """
+
+    end_node: RadixNode
+    new_leaf: Optional[RadixNode] = None
+    split_node: Optional[RadixNode] = None
+    new_edge_tokens: int = 0
+
+    @property
+    def created_intermediate_node(self) -> bool:
+        return self.split_node is not None
+
+
+class RadixTree:
+    """A radix tree keyed by int32 token sequences."""
+
+    def __init__(self) -> None:
+        self.root = RadixNode(np.empty(0, dtype=np.int32), parent=None, now=0.0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def match(self, tokens: np.ndarray) -> MatchResult:
+        """Walk ``tokens`` down the tree; never mutates."""
+        node = self.root
+        matched = 0
+        path: list[RadixNode] = []
+        while matched < len(tokens):
+            child = node.child_for(tokens[matched])
+            if child is None:
+                break
+            shared = common_prefix_length(child.edge_tokens, tokens[matched:])
+            matched += shared
+            if shared < len(child.edge_tokens):
+                # Diverged (or query exhausted) mid-edge: KVs up to `matched`
+                # are reusable but no node boundary was reached.
+                break
+            node = child
+            path.append(child)
+        return MatchResult(matched_len=matched, path=path)
+
+    def insert(self, tokens: np.ndarray, now: float) -> InsertOutcome:
+        """Insert ``tokens`` as a root path, splitting edges as needed."""
+        node = self.root
+        pos = 0
+        split_node: Optional[RadixNode] = None
+        new_leaf: Optional[RadixNode] = None
+        new_edge_tokens = 0
+        while pos < len(tokens):
+            child = node.child_for(tokens[pos])
+            if child is None:
+                new_leaf = RadixNode(tokens[pos:].copy(), parent=node, now=now)
+                node.children[new_leaf.first_token] = new_leaf
+                new_edge_tokens += len(new_leaf.edge_tokens)
+                node = new_leaf
+                pos = len(tokens)
+                break
+            shared = common_prefix_length(child.edge_tokens, tokens[pos:])
+            if shared == len(child.edge_tokens):
+                node = child
+                pos += shared
+                continue
+            # Partial match within `child`'s edge: split it at `shared`.
+            split_node = self._split_edge(child, shared, now)
+            node = split_node
+            pos += shared
+            if pos < len(tokens):
+                new_leaf = RadixNode(tokens[pos:].copy(), parent=node, now=now)
+                node.children[new_leaf.first_token] = new_leaf
+                new_edge_tokens += len(new_leaf.edge_tokens)
+                node = new_leaf
+                pos = len(tokens)
+            break
+        return InsertOutcome(
+            end_node=node,
+            new_leaf=new_leaf,
+            split_node=split_node,
+            new_edge_tokens=new_edge_tokens,
+        )
+
+    def _split_edge(self, child: RadixNode, at: int, now: float) -> RadixNode:
+        """Split ``child``'s incoming edge after ``at`` tokens.
+
+        Creates and returns the new intermediate node.  The child keeps its
+        states (its path is unchanged); the intermediate node starts with no
+        recurrent checkpoint — the admission policy decides whether to add
+        one.  KV ownership is redistributed, not created.
+        """
+        if not 0 < at < len(child.edge_tokens):
+            raise ValueError(
+                f"split position {at} out of range for edge of length {len(child.edge_tokens)}"
+            )
+        parent = child.parent
+        assert parent is not None, "cannot split the root's (empty) edge"
+        middle = RadixNode(child.edge_tokens[:at].copy(), parent=parent, now=now)
+        # A pinned descendant pins every node on its path; the new middle
+        # node sits on child's path so it inherits child's pin count.
+        middle.pin_count = child.pin_count
+        parent.children[middle.first_token] = middle
+        child.edge_tokens = child.edge_tokens[at:].copy()
+        child.parent = middle
+        middle.children[child.first_token] = child
+        return middle
+
+    # ------------------------------------------------------------------
+    # Eviction mechanics (section 4.3)
+    # ------------------------------------------------------------------
+    def remove_leaf(self, node: RadixNode) -> None:
+        """Detach a leaf node, dropping its KVs and checkpoint."""
+        if node.is_root:
+            raise ValueError("cannot remove the root")
+        if not node.is_leaf:
+            raise ValueError(f"node {node.node_id} is not a leaf")
+        if node.is_pinned:
+            raise ValueError(f"node {node.node_id} is pinned by an in-flight request")
+        assert node.parent is not None
+        del node.parent.children[node.first_token]
+        node.parent = None
+
+    def merge_into_child(self, node: RadixNode) -> RadixNode:
+        """Remove a single-child node; the child absorbs its edge KVs.
+
+        Returns the absorbing child.  This is the paper's eviction of an
+        intermediate node: "its SSM states are released, and its KVs are
+        absorbed by its child node".
+        """
+        if node.is_root:
+            raise ValueError("cannot merge the root")
+        if node.n_children != 1:
+            raise ValueError(f"node {node.node_id} has {node.n_children} children; need exactly 1")
+        if node.is_pinned:
+            raise ValueError(f"node {node.node_id} is pinned by an in-flight request")
+        (child,) = node.children.values()
+        parent = node.parent
+        assert parent is not None
+        first = node.first_token
+        child.edge_tokens = np.concatenate([node.edge_tokens, child.edge_tokens])
+        child.parent = parent
+        parent.children[first] = child
+        node.parent = None
+        node.children.clear()
+        return child
+
+    def truncate_leaf(self, node: RadixNode, keep_tokens: int) -> None:
+        """Shorten a leaf's edge to its first ``keep_tokens`` tokens.
+
+        Used when a new sequence's tail does not fit in the cache: the
+        longest affordable prefix is kept (KVs are sliceable on the sequence
+        dimension), mirroring how block caches admit as many prefix blocks
+        as fit.  Only valid on leaves without a recurrent checkpoint — a
+        checkpoint represents the *full* edge and cannot be shortened.
+        """
+        if not node.is_leaf:
+            raise ValueError(f"node {node.node_id} is not a leaf")
+        if node.has_ssm_state:
+            raise ValueError("cannot truncate a checkpointed leaf")
+        if not 0 < keep_tokens < len(node.edge_tokens):
+            raise ValueError(
+                f"keep_tokens must be in (0, {len(node.edge_tokens)}), got {keep_tokens}"
+            )
+        node.edge_tokens = node.edge_tokens[:keep_tokens].copy()
+        node.seq_len = node.parent_seq_len + keep_tokens
+
+    # ------------------------------------------------------------------
+    # Pinning (in-flight request protection)
+    # ------------------------------------------------------------------
+    def pin_path(self, node: RadixNode) -> None:
+        """Pin every node from ``node`` up to (not including) the root."""
+        cursor: Optional[RadixNode] = node
+        while cursor is not None and not cursor.is_root:
+            cursor.pin_count += 1
+            cursor = cursor.parent
+
+    def unpin_path(self, node: RadixNode) -> None:
+        """Release a pin taken with :meth:`pin_path`."""
+        cursor: Optional[RadixNode] = node
+        while cursor is not None and not cursor.is_root:
+            if cursor.pin_count <= 0:
+                raise ValueError(f"unbalanced unpin at node {cursor.node_id}")
+            cursor.pin_count -= 1
+            cursor = cursor.parent
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def iter_nodes(self, include_root: bool = False) -> Iterator[RadixNode]:
+        """Iterate all nodes (pre-order)."""
+        for node in self.root.iter_subtree():
+            if node.is_root and not include_root:
+                continue
+            yield node
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-root nodes."""
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def total_edge_tokens(self) -> int:
+        """Total tokens stored on edges (== KV tokens owned tree-wide)."""
+        return sum(node.kv_tokens for node in self.iter_nodes())
+
+    def clone(self) -> "RadixTree":
+        """Deep structural copy (for the alpha tuner's snapshot + replay).
+
+        Node statistics (timestamps, checkpoints, hit counts) are preserved;
+        pins and state payloads are not — a replayed world has no in-flight
+        requests.
+        """
+        copy = RadixTree()
+        copy.root.last_access = self.root.last_access
+
+        def _copy_children(src: RadixNode, dst: RadixNode) -> None:
+            for first, child in src.children.items():
+                mirrored = RadixNode(child.edge_tokens, parent=dst, now=child.created_at)
+                mirrored.has_ssm_state = child.has_ssm_state
+                mirrored.last_access = child.last_access
+                mirrored.hit_count = child.hit_count
+                dst.children[first] = mirrored
+                _copy_children(child, mirrored)
+
+        _copy_children(self.root, copy.root)
+        return copy
+
+    def check_integrity(self) -> None:
+        """Raise ``AssertionError`` on any structural inconsistency (tests)."""
+        for node in self.iter_nodes(include_root=True):
+            if node.is_root:
+                assert node.seq_len == 0 and len(node.edge_tokens) == 0
+            else:
+                assert len(node.edge_tokens) > 0, "non-root node with empty edge"
+                assert node.parent is not None
+                assert node.seq_len == node.parent.seq_len + len(node.edge_tokens)
+                assert node.parent.children.get(node.first_token) is node
+            first_tokens = [int(c.edge_tokens[0]) for c in node.children.values()]
+            assert len(first_tokens) == len(set(first_tokens)), "duplicate child first-token"
+            for key, child in node.children.items():
+                assert key == int(child.edge_tokens[0])
+                assert child.parent is node

@@ -1,0 +1,79 @@
+"""Aggregate counters every cache implementation maintains."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Running totals for one cache instance.
+
+    ``token hit rate`` — the paper's headline metric — is
+    ``hit_tokens / input_tokens`` over all lookups (the ratio of tokens that
+    skipped prefill to total input tokens).
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    hit_tokens: int = 0
+    input_tokens: int = 0
+    admissions: int = 0
+    admitted_bytes: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    rejected_admissions: int = 0
+    flops_saved: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def token_hit_rate(self) -> float:
+        """Fraction of all input tokens served from cache (0 when idle)."""
+        if self.input_tokens == 0:
+            return 0.0
+        return self.hit_tokens / self.input_tokens
+
+    @property
+    def request_hit_rate(self) -> float:
+        """Fraction of lookups with a non-empty hit."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def record_lookup(self, hit_tokens: int, input_tokens: int) -> None:
+        """Account one lookup and its (possibly zero-token) hit."""
+        self.lookups += 1
+        self.input_tokens += input_tokens
+        self.hit_tokens += hit_tokens
+        if hit_tokens > 0:
+            self.hits += 1
+
+    def record_admission(self, admitted_bytes: int, rejected: bool = False) -> None:
+        """Account one admission (or an admission the cache rejected)."""
+        if rejected:
+            self.rejected_admissions += 1
+            return
+        self.admissions += 1
+        self.admitted_bytes += admitted_bytes
+
+    def record_eviction(self, evicted_bytes: int, entries: int = 1) -> None:
+        """Account ``entries`` evictions totalling ``evicted_bytes``."""
+        self.evictions += entries
+        self.evicted_bytes += evicted_bytes
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "hit_tokens": self.hit_tokens,
+            "input_tokens": self.input_tokens,
+            "token_hit_rate": self.token_hit_rate,
+            "request_hit_rate": self.request_hit_rate,
+            "admissions": self.admissions,
+            "admitted_bytes": self.admitted_bytes,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "rejected_admissions": self.rejected_admissions,
+            "flops_saved": self.flops_saved,
+        }

@@ -1,0 +1,33 @@
+"""Discrete-event serving simulator with an analytic latency model.
+
+The simulator replays a trace against one cache policy and produces
+per-request records (TTFT, queue delay, hit tokens, FLOPs saved).  Prefills
+are served FCFS by 1..N compute-bound executors sharing the cache; decode runs in the
+background (batched decode does not block the prefill queue, the standard
+approximation for throughput-oriented engines) and gates the arrival of the
+session's next round: closed-loop within sessions, open-loop across them.
+"""
+
+from repro.engine.iteration import (
+    IterationConfig,
+    IterationResult,
+    IterationSimulator,
+    simulate_trace_iteration,
+)
+from repro.engine.latency import LatencyModel
+from repro.engine.request import EngineRequest
+from repro.engine.results import EngineResult, RequestRecord
+from repro.engine.server import ServingSimulator, simulate_trace
+
+__all__ = [
+    "IterationConfig",
+    "IterationResult",
+    "IterationSimulator",
+    "simulate_trace_iteration",
+    "LatencyModel",
+    "EngineRequest",
+    "EngineResult",
+    "RequestRecord",
+    "ServingSimulator",
+    "simulate_trace",
+]

@@ -1,0 +1,83 @@
+"""Analytic latency model calibrated to an A100-class FP16 accelerator.
+
+Prefill is compute-bound, so its latency is skipped-FLOP-aware:
+``overhead + suffix_flops / (peak * MFU) + reused_bytes / fetch_bandwidth``.
+The fetch term charges for pulling reused states from the (CPU-side) prefix
+cache over PCIe.  Decode is memory-bandwidth-bound and modeled as a fixed
+per-token time; it never blocks the prefill executor but it does gate the
+session's next round.
+
+Defaults: A100 dense FP16 peak 312 TFLOP/s at 50% MFU, 25 GB/s fetch
+bandwidth (PCIe 4.0 x16 effective), 4 ms prefill launch overhead, 10 ms per
+decoded token — which put a 7B hybrid's full-prefill TTFT for a 10K-token
+request near 0.9 s, matching the scale of the paper's TTFT plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.models.flops import model_suffix_prefill_flops
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Maps token counts and reuse to seconds."""
+
+    peak_flops_per_s: float = 312e12
+    mfu: float = 0.5
+    decode_seconds_per_token: float = 0.010
+    prefill_overhead_s: float = 0.004
+    fetch_bandwidth_bytes_per_s: float = 25e9
+    secondary_fetch_bandwidth_bytes_per_s: float = 8e9
+
+    def __post_init__(self) -> None:
+        if self.peak_flops_per_s <= 0 or not 0 < self.mfu <= 1:
+            raise ValueError("need peak_flops_per_s > 0 and 0 < mfu <= 1")
+        if self.decode_seconds_per_token < 0 or self.prefill_overhead_s < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.fetch_bandwidth_bytes_per_s <= 0:
+            raise ValueError("fetch_bandwidth_bytes_per_s must be positive")
+        if self.secondary_fetch_bandwidth_bytes_per_s <= 0:
+            raise ValueError("secondary_fetch_bandwidth_bytes_per_s must be positive")
+
+    @property
+    def effective_flops_per_s(self) -> float:
+        return self.peak_flops_per_s * self.mfu
+
+    def prefill_seconds(
+        self,
+        model: ModelConfig,
+        seq_len: int,
+        reused_len: int = 0,
+        reused_bytes: int = 0,
+        secondary_bytes: int = 0,
+    ) -> float:
+        """Time to prefill ``seq_len`` tokens reusing a ``reused_len`` prefix.
+
+        ``secondary_bytes`` is the portion of ``reused_bytes`` that comes
+        from a second-tier store (tiered caches) and is priced at the
+        slower secondary bandwidth; the remainder uses the primary fetch
+        bandwidth.
+        """
+        if not 0 <= secondary_bytes <= max(reused_bytes, 0):
+            raise ValueError(
+                f"secondary_bytes must be within [0, reused_bytes], got "
+                f"{secondary_bytes} of {reused_bytes}"
+            )
+        flops = model_suffix_prefill_flops(model, seq_len, reused_len)
+        compute = flops / self.effective_flops_per_s
+        fetch = (reused_bytes - secondary_bytes) / self.fetch_bandwidth_bytes_per_s
+        fetch += secondary_bytes / self.secondary_fetch_bandwidth_bytes_per_s
+        return self.prefill_overhead_s + compute + fetch
+
+    def vanilla_prefill_seconds(self, model: ModelConfig, seq_len: int) -> float:
+        """Full-prefill time with no cache reuse."""
+        return self.prefill_seconds(model, seq_len, 0, 0)
+
+    def decode_seconds(self, n_tokens: int) -> float:
+        """Time to decode ``n_tokens`` output tokens."""
+        if n_tokens < 0:
+            raise ValueError(f"n_tokens must be non-negative, got {n_tokens}")
+        return n_tokens * self.decode_seconds_per_token

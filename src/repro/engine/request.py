@@ -1,0 +1,38 @@
+"""In-flight request representation used by the serving simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class EngineRequest:
+    """One round of one session, materialized for the engine.
+
+    ``input_tokens`` is the full request input (accumulated context plus the
+    round's new segment); ``full_tokens`` additionally includes the round's
+    output, which the simulator "generates" during decode and admits into
+    the cache on completion.
+    """
+
+    session_id: int
+    round_index: int
+    arrival_time: float
+    input_tokens: np.ndarray
+    full_tokens: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.input_tokens) == 0:
+            raise ValueError("request must have at least one input token")
+        if len(self.full_tokens) <= len(self.input_tokens):
+            raise ValueError("request must produce at least one output token")
+
+    @property
+    def input_len(self) -> int:
+        return len(self.input_tokens)
+
+    @property
+    def output_len(self) -> int:
+        return len(self.full_tokens) - len(self.input_tokens)

@@ -1,0 +1,94 @@
+"""Per-request records and aggregate views of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RequestRecord:
+    """Everything measured about one served request."""
+
+    session_id: int
+    round_index: int
+    arrival_time: float
+    service_start: float
+    prefill_seconds: float
+    ttft: float
+    input_len: int
+    hit_tokens: int
+    output_len: int
+    reused_bytes: int
+    flops_saved: float
+
+    @property
+    def queue_delay(self) -> float:
+        return self.service_start - self.arrival_time
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hit_tokens / self.input_len if self.input_len else 0.0
+
+
+@dataclass
+class EngineResult:
+    """All records of one (trace, policy) simulation plus cache counters."""
+
+    policy: str
+    records: list[RequestRecord] = field(default_factory=list)
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def token_hit_rate(self) -> float:
+        """Tokens that skipped prefill over total input tokens (the paper's metric)."""
+        total_input = sum(r.input_len for r in self.records)
+        if total_input == 0:
+            return 0.0
+        return sum(r.hit_tokens for r in self.records) / total_input
+
+    @property
+    def total_flops_saved(self) -> float:
+        return sum(r.flops_saved for r in self.records)
+
+    def ttfts(self) -> np.ndarray:
+        return np.asarray([r.ttft for r in self.records], dtype=np.float64)
+
+    def per_request_hit_rates(self) -> np.ndarray:
+        return np.asarray([r.hit_rate for r in self.records], dtype=np.float64)
+
+    def input_lengths(self) -> np.ndarray:
+        return np.asarray([r.input_len for r in self.records], dtype=np.int64)
+
+    def ttft_percentile(self, percentile: float) -> float:
+        """Linear-interpolated TTFT percentile in seconds (e.g. 95 for P95)."""
+        values = self.ttfts()
+        if len(values) == 0:
+            raise ValueError("no records to take a percentile of")
+        return float(np.percentile(values, percentile))
+
+    def mean_queue_delay(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.queue_delay for r in self.records]))
+
+    def summary(self) -> dict[str, float]:
+        """Compact scalar summary for tables and logs."""
+        return {
+            "policy": self.policy,
+            "n_requests": self.n_requests,
+            "token_hit_rate": self.token_hit_rate,
+            "flops_saved": self.total_flops_saved,
+            "p5_ttft_s": self.ttft_percentile(5),
+            "p50_ttft_s": self.ttft_percentile(50),
+            "p95_ttft_s": self.ttft_percentile(95),
+            "mean_queue_delay_s": self.mean_queue_delay(),
+        }

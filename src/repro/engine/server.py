@@ -1,0 +1,202 @@
+"""The discrete-event serving simulator.
+
+Timeline for each request:
+
+1. It *arrives* (session start, or previous round's decode end plus think
+   time) and joins the FCFS prefill queue.
+2. When the prefill executor frees up, the request is *served*: the cache
+   lookup happens here (states reused must exist at service time, not
+   arrival time), the prefill occupies the executor for the latency model's
+   suffix-aware duration, and TTFT = prefill end − arrival.
+3. Decode proceeds in the background; at its end the full sequence is
+   admitted into the cache and the session's next round is scheduled after
+   the think-time gap.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.baselines.base import CacheProtocol
+from repro.engine.latency import LatencyModel
+from repro.engine.request import EngineRequest
+from repro.engine.results import EngineResult, RequestRecord
+from repro.models.config import ModelConfig
+from repro.models.flops import model_prefill_flops
+from repro.workloads.trace import Trace, TraceSession
+
+
+class _EventKind(enum.IntEnum):
+    # Enum order is the tie-break at equal timestamps: completions and
+    # prefill-done fire before new arrivals so freshly freed capacity and
+    # freshly admitted states are visible to same-instant arrivals.
+    PREFILL_DONE = 0
+    REQUEST_COMPLETE = 1
+    REQUEST_ARRIVAL = 2
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    kind: int
+    seq: int
+    payload: Any = field(compare=False)
+
+
+@dataclass
+class _InFlight:
+    request: EngineRequest
+    handle: Any
+    hit_tokens: int
+    reused_bytes: int
+    service_start: float
+    prefill_seconds: float
+
+
+class ServingSimulator:
+    """Replays one trace through one cache under the latency model.
+
+    ``n_executors > 1`` models data-parallel prefill workers that share the
+    single prefix cache (e.g. multiple prefill streams on one node): up to
+    that many requests prefill concurrently, each still paying its own
+    FLOP-derived duration.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cache: CacheProtocol,
+        latency: Optional[LatencyModel] = None,
+        policy_name: str = "unnamed",
+        n_executors: int = 1,
+    ) -> None:
+        if n_executors < 1:
+            raise ValueError(f"n_executors must be >= 1, got {n_executors}")
+        self.model = model
+        self.cache = cache
+        self.latency = latency or LatencyModel()
+        self.policy_name = policy_name
+        self.n_executors = n_executors
+        self._seq = itertools.count()
+
+    def run(self, trace: Trace) -> EngineResult:
+        """Simulate the full trace; returns per-request records."""
+        heap: list[_Event] = []
+        queue: deque[EngineRequest] = deque()
+        result = EngineResult(policy=self.policy_name)
+        free_executors = self.n_executors
+
+        def push(time: float, kind: _EventKind, payload: Any) -> None:
+            heapq.heappush(heap, _Event(time, int(kind), next(self._seq), payload))
+
+        for session in trace.sessions:
+            push(
+                session.arrival_time,
+                _EventKind.REQUEST_ARRIVAL,
+                self._make_request(session, 0, session.arrival_time),
+            )
+
+        def start_next(now: float) -> None:
+            nonlocal free_executors
+            while free_executors > 0 and queue:
+                request = queue.popleft()
+                lookup = self.cache.lookup(request.input_tokens, now)
+                prefill_seconds = self.latency.prefill_seconds(
+                    self.model,
+                    seq_len=request.input_len,
+                    reused_len=lookup.hit_tokens,
+                    reused_bytes=lookup.reused_bytes,
+                    secondary_bytes=getattr(lookup, "reused_secondary_bytes", 0),
+                )
+                free_executors -= 1
+                push(
+                    now + prefill_seconds,
+                    _EventKind.PREFILL_DONE,
+                    _InFlight(
+                        request=request,
+                        handle=lookup.handle,
+                        hit_tokens=lookup.hit_tokens,
+                        reused_bytes=lookup.reused_bytes,
+                        service_start=now,
+                        prefill_seconds=prefill_seconds,
+                    ),
+                )
+
+        sessions_by_id = {s.session_id: s for s in trace.sessions}
+        while heap:
+            event = heapq.heappop(heap)
+            now = event.time
+            if event.kind == _EventKind.REQUEST_ARRIVAL:
+                queue.append(event.payload)
+                start_next(now)
+            elif event.kind == _EventKind.PREFILL_DONE:
+                flight: _InFlight = event.payload
+                request = flight.request
+                result.records.append(
+                    RequestRecord(
+                        session_id=request.session_id,
+                        round_index=request.round_index,
+                        arrival_time=request.arrival_time,
+                        service_start=flight.service_start,
+                        prefill_seconds=flight.prefill_seconds,
+                        ttft=now - request.arrival_time,
+                        input_len=request.input_len,
+                        hit_tokens=flight.hit_tokens,
+                        output_len=request.output_len,
+                        reused_bytes=flight.reused_bytes,
+                        flops_saved=model_prefill_flops(self.model, flight.hit_tokens),
+                    )
+                )
+                free_executors += 1
+                push(
+                    now + self.latency.decode_seconds(request.output_len),
+                    _EventKind.REQUEST_COMPLETE,
+                    flight,
+                )
+                start_next(now)
+            else:  # REQUEST_COMPLETE
+                flight = event.payload
+                request = flight.request
+                self.cache.admit(request.full_tokens, now, handle=flight.handle)
+                session = sessions_by_id[request.session_id]
+                next_round = request.round_index + 1
+                if next_round < session.n_rounds:
+                    arrival = now + session.think_times[next_round]
+                    push(
+                        arrival,
+                        _EventKind.REQUEST_ARRIVAL,
+                        self._make_request(session, next_round, arrival),
+                    )
+
+        if hasattr(self.cache, "stats"):
+            result.cache_stats = self.cache.stats.snapshot()
+        return result
+
+    @staticmethod
+    def _make_request(
+        session: TraceSession, round_index: int, arrival: float
+    ) -> EngineRequest:
+        return EngineRequest(
+            session_id=session.session_id,
+            round_index=round_index,
+            arrival_time=arrival,
+            input_tokens=session.full_input(round_index),
+            full_tokens=session.full_sequence(round_index),
+        )
+
+
+def simulate_trace(
+    model: ModelConfig,
+    cache: CacheProtocol,
+    trace: Trace,
+    latency: Optional[LatencyModel] = None,
+    policy_name: str = "unnamed",
+    n_executors: int = 1,
+) -> EngineResult:
+    """One-call convenience wrapper around :class:`ServingSimulator`."""
+    return ServingSimulator(model, cache, latency, policy_name, n_executors).run(trace)

@@ -1,0 +1,35 @@
+"""Experiment harness: one entry point per paper figure/table.
+
+Every evaluation artifact in the paper maps to a module in
+:mod:`repro.experiments.figures` exposing ``run(scale) -> FigureResult``.
+``python -m repro.experiments --figure fig7`` regenerates a figure's data as
+an ASCII table; ``--all`` regenerates everything and is what populated
+``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.config import (
+    DATASET_CONFIGS,
+    DatasetConfig,
+    Scale,
+    SCALES,
+    get_scale,
+)
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.registry import FIGURES, run_figure
+from repro.experiments.runner import run_policy_on_trace, run_policies
+from repro.experiments.sweeps import SweepPoint, standard_sweep
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "get_scale",
+    "DatasetConfig",
+    "DATASET_CONFIGS",
+    "FigureResult",
+    "FIGURES",
+    "run_figure",
+    "run_policy_on_trace",
+    "run_policies",
+    "SweepPoint",
+    "standard_sweep",
+]

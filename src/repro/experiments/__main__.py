@@ -1,0 +1,95 @@
+"""CLI: regenerate the paper's figures/tables and inspect workloads.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --figure fig7
+    python -m repro.experiments --figure fig11 --scale smoke
+    python -m repro.experiments --all --scale bench
+    python -m repro.experiments --taxonomy swebench --sessions 40
+    python -m repro.experiments --gen-trace lmsys --out lmsys.jsonl --sessions 80
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import FIGURES, run_figure
+
+
+def _run_taxonomy(workload: str, sessions: int, seed: int) -> None:
+    from repro.analysis import classify_trace
+    from repro.workloads import generate_trace
+
+    trace = generate_trace(workload, n_sessions=sessions, seed=seed)
+    report = classify_trace(trace)
+    print(f"workload={workload} sessions={sessions} requests={trace.n_requests}")
+    print(report.summary_table())
+    print(f"reuse opportunity ceiling: {100 * report.reusable_token_share:.1f}%")
+    print(f"speculative-insertion splits: {report.branch_splits}")
+
+
+def _gen_trace(workload: str, out: str, sessions: int, seed: int) -> None:
+    from repro.workloads import generate_trace
+
+    trace = generate_trace(workload, n_sessions=sessions, seed=seed)
+    trace.to_jsonl(out)
+    print(
+        f"wrote {trace.n_requests} requests "
+        f"({trace.total_input_tokens} input tokens) to {out}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="marconi-repro",
+        description="Reproduce figures/tables from 'Marconi: Prefix Caching "
+        "for the Era of Hybrid LLMs' (MLSys 2025).",
+    )
+    parser.add_argument("--figure", action="append", default=None,
+                        help="figure id (repeatable), e.g. fig7, fig12b, table1")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--scale", default="bench",
+                        choices=("smoke", "bench", "full"),
+                        help="experiment scale (default: bench)")
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--taxonomy", metavar="WORKLOAD", default=None,
+                        help="print the reuse-taxonomy report of a workload")
+    parser.add_argument("--gen-trace", metavar="WORKLOAD", default=None,
+                        help="generate a workload trace and write it as JSONL")
+    parser.add_argument("--out", default="trace.jsonl",
+                        help="output path for --gen-trace (default: trace.jsonl)")
+    parser.add_argument("--sessions", type=int, default=50,
+                        help="session count for --taxonomy/--gen-trace (default: 50)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace seed for --taxonomy/--gen-trace (default: 0)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for figure_id in sorted(FIGURES):
+            print(figure_id)
+        return 0
+    if args.taxonomy:
+        _run_taxonomy(args.taxonomy, args.sessions, args.seed)
+        return 0
+    if args.gen_trace:
+        _gen_trace(args.gen_trace, args.out, args.sessions, args.seed)
+        return 0
+
+    targets = sorted(FIGURES) if args.all else (args.figure or [])
+    if not targets:
+        parser.error("pass --figure <id>, --all, --list, --taxonomy, or --gen-trace")
+    for figure_id in targets:
+        started = time.perf_counter()
+        result = run_figure(figure_id, args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{figure_id} done in {elapsed:.1f}s at scale={args.scale}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

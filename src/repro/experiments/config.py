@@ -1,0 +1,127 @@
+"""Experiment scales and per-dataset configurations.
+
+The paper runs its sweeps against 60–140 GB caches fed by real traces; this
+reproduction uses synthetic traces whose working sets are smaller, so each
+dataset gets a *scaled* cache grid chosen (by calibration) to span the same
+contention regimes — from "barely anything fits" to "almost everything
+fits".  The ``Scale`` presets shrink/grow session counts and cache budgets
+together so contention ratios are preserved:
+
+* ``smoke`` — seconds-fast, for unit tests and CI;
+* ``bench`` — the default for ``benchmarks/`` and ``EXPERIMENTS.md``;
+* ``full`` — a longer run for tighter statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.engine.latency import LatencyModel
+from repro.models.config import ModelConfig
+from repro.models.presets import hybrid_7b
+from repro.workloads.sessions import WorkloadParams
+
+GIB = 1e9  # the paper uses decimal GB
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Joint multiplier for workload size and cache budget."""
+
+    name: str
+    session_factor: float
+    cache_factor: float
+
+    def sessions(self, base: int) -> int:
+        return max(4, int(round(base * self.session_factor)))
+
+    def cache_bytes(self, base_gb: float) -> int:
+        return int(base_gb * self.cache_factor * GIB)
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale("smoke", session_factor=0.2, cache_factor=0.2),
+    "bench": Scale("bench", session_factor=1.0, cache_factor=1.0),
+    "full": Scale("full", session_factor=2.0, cache_factor=2.0),
+}
+
+
+def get_scale(name: str | Scale) -> Scale:
+    """Resolve a scale by name (or pass through a ``Scale`` instance)."""
+    if isinstance(name, Scale):
+        return name
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(f"unknown scale {name!r}; known: {sorted(SCALES)}") from None
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Per-dataset workload shape and the cache grid spanning its contention range."""
+
+    workload: str
+    n_sessions: int
+    session_rate: float
+    mean_think_s: float
+    cache_grid_gb: tuple[float, ...]
+    think_grid_s: tuple[float, ...]
+    seed: int = 1
+
+    def workload_params(
+        self,
+        scale: Scale,
+        *,
+        session_rate: float | None = None,
+        mean_think_s: float | None = None,
+        seed: int | None = None,
+    ) -> WorkloadParams:
+        return WorkloadParams(
+            n_sessions=scale.sessions(self.n_sessions),
+            session_rate=self.session_rate if session_rate is None else session_rate,
+            mean_think_s=self.mean_think_s if mean_think_s is None else mean_think_s,
+            seed=self.seed if seed is None else seed,
+        )
+
+    def with_overrides(self, **kwargs) -> "DatasetConfig":
+        return replace(self, **kwargs)
+
+
+# Calibrated so each grid spans high -> low contention for the 7B hybrid.
+DATASET_CONFIGS: dict[str, DatasetConfig] = {
+    "lmsys": DatasetConfig(
+        workload="lmsys",
+        n_sessions=200,
+        session_rate=2.0,
+        mean_think_s=5.0,
+        cache_grid_gb=(4.0, 6.0, 9.0, 12.0),
+        think_grid_s=(5.0, 10.0),
+    ),
+    "sharegpt": DatasetConfig(
+        workload="sharegpt",
+        n_sessions=250,
+        session_rate=2.0,
+        mean_think_s=5.0,
+        cache_grid_gb=(1.5, 2.5, 4.0, 6.0),
+        think_grid_s=(5.0, 10.0),
+    ),
+    "swebench": DatasetConfig(
+        workload="swebench",
+        n_sessions=160,
+        session_rate=2.0,
+        mean_think_s=7.5,
+        cache_grid_gb=(25.0, 35.0, 45.0, 60.0),
+        think_grid_s=(5.0, 10.0),
+    ),
+}
+
+DEFAULT_POLICIES: tuple[str, ...] = ("vanilla", "vllm+", "sglang+", "marconi")
+
+
+def default_model() -> ModelConfig:
+    """The paper's main 7B hybrid."""
+    return hybrid_7b()
+
+
+def default_latency() -> LatencyModel:
+    return LatencyModel()

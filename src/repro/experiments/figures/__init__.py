@@ -1,0 +1,5 @@
+"""One module per paper figure; each exposes ``run(scale) -> FigureResult``."""
+
+from repro.experiments.figures.base import FigureResult
+
+__all__ = ["FigureResult"]

@@ -1,0 +1,41 @@
+"""Shared result container for figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.metrics.reporting import ascii_table
+
+
+@dataclass
+class FigureResult:
+    """The data behind one regenerated figure/table.
+
+    ``rows``/``headers`` carry the same series the paper plots;
+    ``paper_expectation`` states what the paper reports so a reader (and
+    ``EXPERIMENTS.md``) can compare shape; ``extra`` holds raw arrays for
+    tests and plotting.
+    """
+
+    figure_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    paper_expectation: str = ""
+    notes: list[str] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        if self.paper_expectation:
+            lines.append(f"paper: {self.paper_expectation}")
+        lines.append(ascii_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    """Uniform float formatting for table cells."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,93 @@
+"""Fig. 3 — why fine-grained checkpointing fails for hybrid models.
+
+* **Fig. 3a**: under vLLM+-style per-block checkpointing, what fraction of
+  token blocks ever have their KVs reused vs their SSM states reused?  The
+  paper reports 25.0% vs 0.4% (a 65.3x gap) at block size 32, shrinking to
+  11.1x at block size 128.  Measured here by running vLLM+ with an
+  effectively infinite cache (so admission, not eviction, drives the
+  numbers) over a chat trace.
+* **Fig. 3b**: total cache footprint of a *single* sequence as length grows,
+  for block sizes 8/16/32 — the paper's 7B hybrid hits 17.4 GB at 10K
+  tokens with block size 16.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.vllm_plus import VLLMPlusCache
+from repro.engine.server import simulate_trace
+from repro.experiments.config import DATASET_CONFIGS, Scale, get_scale
+from repro.experiments.figures.base import FigureResult, fmt
+from repro.experiments.runner import get_trace
+from repro.models.memory import sequence_cache_footprint
+from repro.models.presets import hybrid_7b
+
+BLOCK_SIZES_3A = (32, 64, 128)
+BLOCK_SIZES_3B = (8, 16, 32)
+SEQ_LENS_3B = (1000, 2500, 5000, 10000, 15000)
+_HUGE_CACHE = int(4e12)  # bytes; large enough that nothing is ever evicted
+
+
+def run_3a(scale: str | Scale = "bench") -> FigureResult:
+    """Block reuse rates (KV vs SSM) per block size."""
+    scale = get_scale(scale)
+    model = hybrid_7b()
+    config = DATASET_CONFIGS["lmsys"]
+    trace = get_trace(config.workload, config.workload_params(scale))
+    rows = []
+    ratios = {}
+    for block_size in BLOCK_SIZES_3A:
+        cache = VLLMPlusCache(model, _HUGE_CACHE, block_size=block_size)
+        simulate_trace(model, cache, trace, policy_name=f"vllm+b{block_size}")
+        stats = cache.reuse_stats
+        ratio = stats.kv_reuse_rate / max(stats.ssm_reuse_rate, 1e-9)
+        ratios[block_size] = ratio
+        rows.append(
+            [
+                block_size,
+                fmt(100 * stats.kv_reuse_rate, 1),
+                fmt(100 * stats.ssm_reuse_rate, 2),
+                fmt(ratio, 1) + "x",
+                stats.blocks_created,
+            ]
+        )
+    return FigureResult(
+        figure_id="fig3a",
+        title="Token block reuse rate: KVs vs SSM states (vLLM+-style admission)",
+        headers=["block_size", "kv_reused_%", "ssm_reused_%", "kv/ssm_ratio", "blocks"],
+        rows=rows,
+        paper_expectation=(
+            "KV reuse ~25% vs SSM reuse ~0.4% at block 32 (65.3x); the gap "
+            "narrows with block size (27.9x at 64, 11.1x at 128)"
+        ),
+        extra={"ratios": ratios},
+    )
+
+
+def run_3b(scale: str | Scale = "bench") -> FigureResult:
+    """Single-sequence cache footprint vs length (analytic)."""
+    model = hybrid_7b()
+    rows = []
+    for seq_len in SEQ_LENS_3B:
+        row = [seq_len]
+        for block_size in BLOCK_SIZES_3B:
+            row.append(fmt(sequence_cache_footprint(model, seq_len, block_size) / 1e9, 2))
+        rows.append(row)
+    anchor = sequence_cache_footprint(model, 10000, 16) / 1e9
+    return FigureResult(
+        figure_id="fig3b",
+        title="Per-sequence cache footprint (GB) under fine-grained checkpointing",
+        headers=["seq_len"] + [f"block={b} (GB)" for b in BLOCK_SIZES_3B],
+        rows=rows,
+        paper_expectation="17.4 GB at 10K tokens with block size 16 for the 7B hybrid",
+        notes=[f"measured anchor: {anchor:.1f} GB at 10K tokens, block 16"],
+        extra={"anchor_gb": anchor},
+    )
+
+
+def run(scale: str | Scale = "bench") -> FigureResult:
+    """Composite result (3a measured + 3b analytic); 3a is the headline."""
+    result_a = run_3a(scale)
+    result_b = run_3b(scale)
+    result_a.notes.append("see also fig3b (run_3b) for the footprint curve")
+    result_a.extra["fig3b"] = result_b
+    return result_a

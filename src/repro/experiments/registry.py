@@ -1,0 +1,57 @@
+"""Figure-name registry and the `run_figure` dispatcher."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import extensions, tables
+from repro.experiments.config import Scale
+from repro.experiments.figures import (
+    fig03_motivation,
+    fig05_flop_efficiency,
+    fig06_workload_stats,
+    fig07_hit_rate,
+    fig08_sglang_win,
+    fig09_ttft,
+    fig10_fine_grained,
+    fig11_contention,
+    fig12_architecture,
+    fig13_arrivals,
+    fig14_flop_breakdown,
+)
+from repro.experiments.figures.base import FigureResult
+
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig3a": fig03_motivation.run_3a,
+    "fig3b": fig03_motivation.run_3b,
+    "fig5": fig05_flop_efficiency.run,
+    "fig6": fig06_workload_stats.run,
+    "fig7": fig07_hit_rate.run,
+    "fig8": fig08_sglang_win.run,
+    "fig9": fig09_ttft.run,
+    "fig10": fig10_fine_grained.run,
+    "fig11": fig11_contention.run,
+    "fig12a": fig12_architecture.run_12a,
+    "fig12b": fig12_architecture.run_12b,
+    "fig13a": fig13_arrivals.run_13a,
+    "fig13b": fig13_arrivals.run_13b,
+    "fig14": fig14_flop_breakdown.run,
+    "table1": tables.run,
+    "ext-zoo": extensions.run_policy_zoo,
+    "ext-tiering": extensions.run_tiering,
+    "ext-cluster": extensions.run_cluster,
+    "ext-taxonomy": extensions.run_taxonomy_workloads,
+    "ext-multitenant": extensions.run_multitenant,
+    "ext-tbt": extensions.run_tail_tbt,
+}
+
+
+def run_figure(figure_id: str, scale: str | Scale = "bench") -> FigureResult:
+    """Regenerate one figure's data by id (e.g. ``"fig7"``)."""
+    try:
+        runner = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}"
+        ) from None
+    return runner(scale)

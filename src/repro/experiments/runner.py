@@ -1,0 +1,107 @@
+"""Run (trace, policy) pairs through the serving simulator, with trace caching."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.baselines.registry import make_cache
+from repro.engine.latency import LatencyModel
+from repro.engine.results import EngineResult
+from repro.engine.server import simulate_trace
+from repro.models.config import ModelConfig
+from repro.workloads.registry import generate_trace
+from repro.workloads.sessions import WorkloadParams
+from repro.workloads.trace import Trace
+
+
+@lru_cache(maxsize=32)
+def _cached_trace(
+    workload: str,
+    n_sessions: int,
+    session_rate: float,
+    mean_think_s: float,
+    seed: int,
+    vocab_size: int,
+) -> Trace:
+    return generate_trace(
+        workload,
+        WorkloadParams(
+            n_sessions=n_sessions,
+            session_rate=session_rate,
+            mean_think_s=mean_think_s,
+            seed=seed,
+            vocab_size=vocab_size,
+        ),
+    )
+
+
+def get_trace(workload: str, params: WorkloadParams) -> Trace:
+    """Generate (or fetch from the in-process cache) a deterministic trace."""
+    return _cached_trace(
+        workload,
+        params.n_sessions,
+        params.session_rate,
+        params.mean_think_s,
+        params.seed,
+        params.vocab_size,
+    )
+
+
+# Simulations are deterministic, so identical (trace, model, policy, config)
+# runs can be shared across figure harnesses.  Keyed by object identity of
+# the trace (traces themselves are cached above) plus scalar config.
+_result_cache: dict[tuple, EngineResult] = {}
+
+
+def clear_result_cache() -> None:
+    """Drop memoized simulation results (tests and long-lived processes)."""
+    _result_cache.clear()
+
+
+def run_policy_on_trace(
+    model: ModelConfig,
+    trace: Trace,
+    policy: str,
+    capacity_bytes: int,
+    *,
+    latency: LatencyModel | None = None,
+    block_size: int = 32,
+    alpha: float | None = None,
+    use_cache: bool = True,
+) -> EngineResult:
+    """Simulate one policy over one trace (memoized; runs are deterministic)."""
+    key = (id(trace), model, policy, capacity_bytes, latency, block_size, alpha)
+    if use_cache and key in _result_cache:
+        return _result_cache[key]
+    cache = make_cache(
+        policy, model, capacity_bytes, block_size=block_size, alpha=alpha
+    )
+    result = simulate_trace(model, cache, trace, latency, policy_name=policy)
+    if hasattr(cache, "alpha"):
+        result.cache_stats["alpha"] = cache.alpha
+    if use_cache:
+        _result_cache[key] = result
+    return result
+
+
+def run_policies(
+    model: ModelConfig,
+    trace: Trace,
+    policies: tuple[str, ...],
+    capacity_bytes: int,
+    *,
+    latency: LatencyModel | None = None,
+    block_size: int = 32,
+) -> dict[str, EngineResult]:
+    """Simulate several policies over the same trace (fresh cache each)."""
+    return {
+        policy: run_policy_on_trace(
+            model,
+            trace,
+            policy,
+            capacity_bytes,
+            latency=latency,
+            block_size=block_size,
+        )
+        for policy in policies
+    }

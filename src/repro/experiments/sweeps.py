@@ -1,0 +1,73 @@
+"""The standard config sweep behind Figs. 7, 8, and 9.
+
+The paper's artifact runs every policy over the cartesian product of cache
+sizes and arrival patterns per dataset ("the sweep of all experiments ...
+dataset/arrival rate/cache size combination"), then presents the resulting
+*distributions* (box plots, CDFs).  ``standard_sweep`` reproduces that:
+cache grid x think-time grid, all policies, one trace per arrival setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.results import EngineResult
+from repro.experiments.config import (
+    DATASET_CONFIGS,
+    DEFAULT_POLICIES,
+    Scale,
+    default_latency,
+    default_model,
+    get_scale,
+)
+from repro.experiments.runner import get_trace, run_policies
+
+
+@dataclass
+class SweepPoint:
+    """One (cache size, arrival pattern) configuration's results."""
+
+    dataset: str
+    cache_gb: float
+    mean_think_s: float
+    results: dict[str, EngineResult] = field(default_factory=dict)
+
+    def hit_rate(self, policy: str) -> float:
+        return self.results[policy].token_hit_rate
+
+    def describe(self) -> str:
+        return f"{self.dataset} cache={self.cache_gb:g}GB think={self.mean_think_s:g}s"
+
+
+def standard_sweep(
+    dataset: str,
+    scale: str | Scale = "bench",
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+) -> list[SweepPoint]:
+    """Run the full cache-size x think-time grid for one dataset."""
+    scale = get_scale(scale)
+    config = DATASET_CONFIGS[dataset]
+    model = default_model()
+    latency = default_latency()
+    points: list[SweepPoint] = []
+    for think in config.think_grid_s:
+        trace = get_trace(
+            config.workload, config.workload_params(scale, mean_think_s=think)
+        )
+        for cache_gb in config.cache_grid_gb:
+            results = run_policies(
+                model,
+                trace,
+                policies,
+                scale.cache_bytes(cache_gb),
+                latency=latency,
+            )
+            points.append(
+                SweepPoint(
+                    dataset=dataset,
+                    cache_gb=cache_gb,
+                    mean_think_s=think,
+                    results=results,
+                )
+            )
+    return points

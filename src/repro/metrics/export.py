@@ -1,0 +1,91 @@
+"""Result export: per-request CSV and aggregate JSON.
+
+The paper's artifact writes one log file per dataset sweep and post-
+processes it with plotting scripts; these helpers provide the equivalent
+machine-readable surface for this reproduction's results.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.engine.results import EngineResult
+
+_CSV_FIELDS = (
+    "session_id",
+    "round_index",
+    "arrival_time",
+    "service_start",
+    "prefill_seconds",
+    "ttft",
+    "input_len",
+    "hit_tokens",
+    "output_len",
+    "reused_bytes",
+    "flops_saved",
+)
+
+
+def records_to_csv(result: EngineResult, path: str | Path) -> None:
+    """Write one CSV row per served request."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for record in result.records:
+            row = asdict(record)
+            writer.writerow({key: row[key] for key in _CSV_FIELDS})
+
+
+def records_from_csv(path: str | Path) -> list[dict]:
+    """Read rows written by :func:`records_to_csv` with numeric types restored."""
+    path = Path(path)
+    out: list[dict] = []
+    with path.open() as fh:
+        for row in csv.DictReader(fh):
+            parsed = dict(row)
+            for key in ("session_id", "round_index", "input_len", "hit_tokens",
+                        "output_len", "reused_bytes"):
+                parsed[key] = int(row[key])
+            for key in ("arrival_time", "service_start", "prefill_seconds",
+                        "ttft", "flops_saved"):
+                parsed[key] = float(row[key])
+            out.append(parsed)
+    return out
+
+
+def summary_dict(result: EngineResult) -> dict:
+    """Aggregate view of one run (policy, hit rate, TTFT percentiles)."""
+    from repro.metrics.throughput import (
+        makespan_seconds,
+        prefill_throughput_tokens_per_s,
+    )
+
+    summary: dict = {
+        "policy": result.policy,
+        "n_requests": result.n_requests,
+        "token_hit_rate": result.token_hit_rate,
+        "total_flops_saved": result.total_flops_saved,
+        "makespan_seconds": makespan_seconds(result),
+        "prefill_throughput_tokens_per_s": prefill_throughput_tokens_per_s(result),
+        "cache_stats": result.cache_stats,
+    }
+    if result.records:
+        summary["ttft_p5"] = result.ttft_percentile(5)
+        summary["ttft_p50"] = result.ttft_percentile(50)
+        summary["ttft_p95"] = result.ttft_percentile(95)
+    return summary
+
+
+def summary_to_json(result: EngineResult, path: str | Path) -> None:
+    """Write :func:`summary_dict` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(summary_dict(result), indent=2, sort_keys=True) + "\n")
+
+
+def summary_from_json(path: str | Path) -> dict:
+    """Load a summary written by :func:`summary_to_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,34 @@
+"""Load-balance metrics for multi-replica serving."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jain_fairness(values: np.ndarray | list[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly even load; ``1/n`` means one replica carries
+    everything.  All-zero loads are defined as perfectly fair.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(arr < 0):
+        raise ValueError("values must be non-negative")
+    total_sq = float(np.sum(arr) ** 2)
+    denom = float(arr.size * np.sum(arr**2))
+    if denom == 0.0:
+        return 1.0
+    return total_sq / denom
+
+
+def coefficient_of_variation(values: np.ndarray | list[float]) -> float:
+    """Std/mean of per-replica loads (0 = perfectly balanced)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(arr.std() / mean)

@@ -1,0 +1,124 @@
+"""Named model configurations used throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+from repro.models.config import ModelConfig
+
+
+def hybrid_7b() -> ModelConfig:
+    """The paper's main 7B hybrid: {4, 24, 28} {Attention, SSM, MLP} layers.
+
+    ``D = 4096``, ``N = 128`` (Mamba2-class state dimension), FP16.
+    """
+    return ModelConfig(
+        name="hybrid-7b",
+        d_model=4096,
+        d_state=128,
+        n_attention=4,
+        n_ssm=24,
+        n_mlp=28,
+        n_heads=32,
+    )
+
+
+def transformer_7b() -> ModelConfig:
+    """A 7B pure Transformer (Llama-2-7B-like): 32 Attention + 32 MLP layers."""
+    return ModelConfig(
+        name="transformer-7b",
+        d_model=4096,
+        d_state=0,
+        n_attention=32,
+        n_ssm=0,
+        n_mlp=32,
+        n_heads=32,
+    )
+
+
+def mamba_7b() -> ModelConfig:
+    """A 7B pure SSM model (Mamba-class): 64 SSM layers, no Attention/MLP."""
+    return ModelConfig(
+        name="mamba-7b",
+        d_model=4096,
+        d_state=128,
+        n_attention=0,
+        n_ssm=64,
+        n_mlp=0,
+        n_heads=32,
+    )
+
+
+def jamba_mini_like() -> ModelConfig:
+    """A Jamba-1.5-Mini-shaped hybrid (12B active) with state dimension 128.
+
+    Used by the paper for the real-hardware TTFT insight; here it feeds the
+    latency model.  Layer ratio follows Jamba's 1:7 Attention:Mamba mix.
+    """
+    return ModelConfig(
+        name="jamba-mini-like",
+        d_model=4096,
+        d_state=128,
+        n_attention=4,
+        n_ssm=28,
+        n_mlp=32,
+        n_heads=32,
+    )
+
+
+def tiny_test_model() -> ModelConfig:
+    """A deliberately small hybrid for unit tests and the executable NumPy model."""
+    return ModelConfig(
+        name="tiny-test",
+        d_model=64,
+        d_state=16,
+        n_attention=1,
+        n_ssm=3,
+        n_mlp=4,
+        n_heads=4,
+        vocab_size=256,
+    )
+
+
+def hybrid_with_composition(n_ssm: int, n_attention: int) -> ModelConfig:
+    """7B-class hybrid with a custom (SSM, Attention) composition (Fig. 12a).
+
+    The MLP count stays at the base model's 28 so that only the stateful-layer
+    mix varies, matching the paper's sweep over
+    ``(32,4), (30,5), (28,7), (24,12), (0,36)``.
+    """
+    base = hybrid_7b()
+    if n_ssm == 0:
+        # The pure-Transformer end of the sweep: d_state is irrelevant.
+        return ModelConfig(
+            name=f"hybrid-7b-s0a{n_attention}",
+            d_model=base.d_model,
+            d_state=0,
+            n_attention=n_attention,
+            n_ssm=0,
+            n_mlp=base.n_mlp,
+            n_heads=base.n_heads,
+        )
+    return base.with_composition(n_ssm, n_attention, name=f"hybrid-7b-s{n_ssm}a{n_attention}")
+
+
+def hybrid_with_state_dim(d_state: int) -> ModelConfig:
+    """7B hybrid with a custom SSM state dimension ``N`` (Fig. 12b sweep)."""
+    return hybrid_7b().with_state_dim(d_state, name=f"hybrid-7b-N{d_state}")
+
+
+PRESETS = {
+    "hybrid-7b": hybrid_7b,
+    "transformer-7b": transformer_7b,
+    "mamba-7b": mamba_7b,
+    "jamba-mini-like": jamba_mini_like,
+    "tiny-test": tiny_test_model,
+}
+
+
+def get_preset(name: str) -> ModelConfig:
+    """Look up a preset by name; raises ``KeyError`` with the known names."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model preset {name!r}; known presets: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,35 @@
+"""An executable NumPy hybrid LLM.
+
+This is a real (if small) model — embedding, Mamba-style selective-SSM
+layers with causal-conv state, causal multi-head attention with KV cache,
+SiLU MLPs, RMSNorm — built to validate the paper's correctness premise:
+*prefix reusing is exact*.  It implements both prefill-time checkpointing
+mechanisms from section 4.1 (chunked state passing and two-pass prefill)
+so tests can assert that serving from a cached checkpoint reproduces the
+no-cache forward pass to numerical precision.
+"""
+
+from repro.nn.attention import AttentionLayer
+from repro.nn.functional import rmsnorm, silu, softmax, softplus
+from repro.nn.hybrid import HybridModel, PrefillResult, layer_sequence
+from repro.nn.mlp import MLPLayer
+from repro.nn.sampling import greedy_token
+from repro.nn.ssm import SSMLayer
+from repro.nn.states import KVState, ModelState, RecurrentState
+
+__all__ = [
+    "softmax",
+    "silu",
+    "rmsnorm",
+    "softplus",
+    "AttentionLayer",
+    "SSMLayer",
+    "MLPLayer",
+    "KVState",
+    "RecurrentState",
+    "ModelState",
+    "HybridModel",
+    "PrefillResult",
+    "layer_sequence",
+    "greedy_token",
+]

@@ -1,0 +1,67 @@
+"""Causal multi-head self-attention with an appendable KV cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.states import KVState
+
+
+class AttentionLayer:
+    """Multi-head attention over new tokens plus a cached prefix.
+
+    Weights are square projections [D, D]; the layer is pre-norm'd and
+    residual-added by :class:`repro.nn.hybrid.HybridModel`.
+    """
+
+    def __init__(self, d_model: int, n_heads: int, rng: np.random.Generator) -> None:
+        if d_model % n_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.head_dim = d_model // n_heads
+        scale = 1.0 / np.sqrt(d_model)
+        self.wq = rng.normal(0.0, scale, (d_model, d_model))
+        self.wk = rng.normal(0.0, scale, (d_model, d_model))
+        self.wv = rng.normal(0.0, scale, (d_model, d_model))
+        self.wo = rng.normal(0.0, scale, (d_model, d_model))
+
+    def init_state(self) -> KVState:
+        return KVState.empty(self.n_heads, self.head_dim)
+
+    def forward(self, x: np.ndarray, state: KVState) -> tuple[np.ndarray, KVState]:
+        """Attend ``x`` [T, D] to the cached prefix plus itself (causal).
+
+        Returns the output [T, D] and the extended KV state.  The input
+        state is never mutated — a cached payload stays valid after reuse.
+        """
+        n_new = x.shape[0]
+        past = state.seq_len
+
+        def split_heads(t: np.ndarray) -> np.ndarray:
+            return t.reshape(n_new, self.n_heads, self.head_dim)
+
+        q = split_heads(x @ self.wq)
+        k_new = split_heads(x @ self.wk)
+        v_new = split_heads(x @ self.wv)
+        new_state = state.appended(k_new, v_new)
+
+        # [H, T, S] attention scores over past + new timesteps.
+        q_h = q.transpose(1, 0, 2)
+        k_h = new_state.k.transpose(1, 2, 0)
+        scores = (q_h @ k_h) / np.sqrt(self.head_dim)
+
+        # Causal mask: new token i (global position past+i) may attend to
+        # global positions <= past+i.
+        total = past + n_new
+        positions = np.arange(total)[None, :]
+        query_positions = (past + np.arange(n_new))[:, None]
+        mask = positions > query_positions
+        scores = np.where(mask[None, :, :], -np.inf, scores)
+
+        weights = softmax(scores, axis=-1)
+        v_h = new_state.v.transpose(1, 0, 2)  # [H, S, Dh]
+        context = weights @ v_h  # [H, T, Dh]
+        merged = context.transpose(1, 0, 2).reshape(n_new, self.d_model)
+        return merged @ self.wo, new_state

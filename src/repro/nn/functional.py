@@ -1,0 +1,28 @@
+"""Numerically careful activation and normalization primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish: ``x * sigmoid(x)``."""
+    return x / (1.0 + np.exp(-x))
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Stable softplus: ``log(1 + exp(x))`` without overflow."""
+    return np.logaddexp(0.0, x)
+
+
+def rmsnorm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer norm over the last axis."""
+    scale = np.sqrt(np.mean(np.square(x), axis=-1, keepdims=True) + eps)
+    return x / scale * weight

@@ -1,0 +1,300 @@
+"""The assembled hybrid model with checkpointing prefill (section 4.1).
+
+``HybridModel.prefill`` supports the paper's two mechanisms for obtaining
+recurrent states at interior positions:
+
+* ``mode="chunked"`` — chunked state passing: the sequence is processed in
+  fixed-size chunks and checkpoints snap to the largest chunk boundary at
+  or before each requested position ("this approach may miss some prefix
+  caching opportunities within a chunk but introduces minimal runtime
+  overhead").
+* ``mode="chunked_rollforward"`` — chunked state passing plus the paper's
+  optional refinement: "custom kernels can be developed to quickly roll the
+  state forward by a few tokens to reach the exact location".  Checkpoints
+  snap to the chunk boundary and are then rolled forward through at most
+  ``chunk_size - 1`` extra tokens, landing exactly on the requested
+  positions at a small recompute cost.
+* ``mode="two_pass"`` / ``mode="exact"`` — the prefill is split exactly at
+  each requested position (the two-pass prefill for models without chunked
+  state passing; functionally the first pass ends at the checkpoint and the
+  second resumes from it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.config import LayerType, ModelConfig
+from repro.nn.attention import AttentionLayer
+from repro.nn.functional import rmsnorm
+from repro.nn.mlp import MLPLayer
+from repro.nn.sampling import greedy_token
+from repro.nn.ssm import SSMLayer
+from repro.nn.states import KVState, ModelState, RecurrentState
+
+
+def layer_sequence(config: ModelConfig) -> list[LayerType]:
+    """Deterministic interleaving of the configured layer counts.
+
+    Attention layers are spread evenly among the stateful (mixer) slots —
+    hybrid models "mix in one Attention layer for every 6-10 SSM layers" —
+    and MLPs are interleaved round-robin across the whole stack.
+    """
+    n_mixers = config.n_attention + config.n_ssm
+    mixers: list[LayerType] = []
+    if n_mixers > 0:
+        if config.n_attention == 0:
+            mixers = [LayerType.SSM] * config.n_ssm
+        elif config.n_ssm == 0:
+            mixers = [LayerType.ATTENTION] * config.n_attention
+        else:
+            # Place attention at evenly spaced mixer indices.
+            stride = n_mixers / config.n_attention
+            attention_slots = {int(i * stride + stride / 2) for i in range(config.n_attention)}
+            # Guard against rounding collisions.
+            while len(attention_slots) < config.n_attention:
+                attention_slots.add(max(attention_slots) + 1)
+            mixers = [
+                LayerType.ATTENTION if i in attention_slots else LayerType.SSM
+                for i in range(n_mixers)
+            ]
+    sequence: list[LayerType] = []
+    mlp_left = config.n_mlp
+    for i, mixer in enumerate(mixers):
+        sequence.append(mixer)
+        # Interleave MLPs proportionally after mixers.
+        target = round(config.n_mlp * (i + 1) / max(1, n_mixers))
+        while config.n_mlp - mlp_left < target and mlp_left > 0:
+            sequence.append(LayerType.MLP)
+            mlp_left -= 1
+    sequence.extend([LayerType.MLP] * mlp_left)
+    assert sequence.count(LayerType.ATTENTION) == config.n_attention
+    assert sequence.count(LayerType.SSM) == config.n_ssm
+    assert sequence.count(LayerType.MLP) == config.n_mlp
+    return sequence
+
+
+@dataclass
+class PrefillResult:
+    """Output of a checkpointing prefill."""
+
+    logits: np.ndarray  # [T, V] logits of the processed segment's tokens
+    state: ModelState
+    checkpoints: dict[int, ModelState] = field(default_factory=dict)
+
+
+class HybridModel:
+    """A small but complete hybrid LLM built from a :class:`ModelConfig`."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.embedding = rng.normal(0.0, 0.02, (config.vocab_size, config.d_model))
+        self.sequence = layer_sequence(config)
+        self.layers: list[object] = []
+        self.norms: list[np.ndarray] = []
+        for layer_type in self.sequence:
+            if layer_type is LayerType.ATTENTION:
+                self.layers.append(AttentionLayer(config.d_model, config.n_heads, rng))
+            elif layer_type is LayerType.SSM:
+                self.layers.append(
+                    SSMLayer(
+                        config.d_model,
+                        config.d_state,
+                        rng,
+                        expand=config.expand,
+                        d_conv=config.d_conv,
+                    )
+                )
+            else:
+                self.layers.append(MLPLayer(config.d_model, rng))
+            self.norms.append(np.ones(config.d_model))
+        self.final_norm = np.ones(config.d_model)
+
+    # ------------------------------------------------------------------
+    # Core forward
+    # ------------------------------------------------------------------
+    def init_state(self) -> ModelState:
+        layers = []
+        for layer in self.layers:
+            if isinstance(layer, (AttentionLayer, SSMLayer)):
+                layers.append(layer.init_state())
+            else:
+                layers.append(None)
+        return ModelState(layers=layers, seq_len=0)
+
+    def forward(
+        self, tokens: np.ndarray, state: ModelState
+    ) -> tuple[np.ndarray, ModelState]:
+        """Process ``tokens`` [T] from ``state``; returns [T, V] logits.
+
+        The input state is never mutated, so cached payloads can be reused
+        any number of times.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1 or len(tokens) == 0:
+            raise ValueError("tokens must be a non-empty 1-D array")
+        x = self.embedding[tokens]
+        new_layers: list = []
+        for layer, norm, layer_state in zip(self.layers, self.norms, state.layers):
+            normed = rmsnorm(x, norm)
+            if isinstance(layer, AttentionLayer):
+                assert isinstance(layer_state, KVState)
+                out, new_state = layer.forward(normed, layer_state)
+                new_layers.append(new_state)
+            elif isinstance(layer, SSMLayer):
+                assert isinstance(layer_state, RecurrentState)
+                out, new_state = layer.forward(normed, layer_state)
+                new_layers.append(new_state)
+            else:
+                out = layer.forward(normed)
+                new_layers.append(None)
+            x = x + out
+        x = rmsnorm(x, self.final_norm)
+        logits = x @ self.embedding.T
+        return logits, ModelState(layers=new_layers, seq_len=state.seq_len + len(tokens))
+
+    # ------------------------------------------------------------------
+    # Checkpointing prefill (section 4.1)
+    # ------------------------------------------------------------------
+    def prefill(
+        self,
+        tokens: np.ndarray,
+        state: ModelState | None = None,
+        *,
+        checkpoint_positions: tuple[int, ...] = (),
+        mode: str = "exact",
+        chunk_size: int = 64,
+    ) -> PrefillResult:
+        """Prefill ``tokens`` from ``state``, checkpointing along the way.
+
+        ``checkpoint_positions`` are *global* prefix lengths (tokens since
+        the sequence start, i.e. ``state.seq_len`` counts) strictly inside
+        the processed range.  In ``chunked`` mode each checkpoint snaps to
+        the largest multiple of ``chunk_size`` (measured from the segment
+        start) at or below the requested position; the returned dict is
+        keyed by the positions actually materialized.  In
+        ``chunked_rollforward`` mode the snapped states are additionally
+        rolled forward to the exact requested positions, so the dict is
+        keyed by the requested positions themselves.
+        """
+        if mode not in ("exact", "two_pass", "chunked", "chunked_rollforward"):
+            raise ValueError(f"unknown prefill mode {mode!r}")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        state = state.clone() if state is not None else self.init_state()
+        initial = state
+        start = state.seq_len
+        end = start + len(tokens)
+        requested = sorted(set(checkpoint_positions))
+        for position in requested:
+            if not start < position <= end:
+                raise ValueError(
+                    f"checkpoint position {position} outside prefill range "
+                    f"({start}, {end}]"
+                )
+        if mode in ("chunked", "chunked_rollforward"):
+            cut_positions = sorted(
+                {
+                    start + ((p - start) // chunk_size) * chunk_size
+                    for p in requested
+                }
+                - {start}
+            )
+        else:
+            cut_positions = requested
+
+        logits_parts: list[np.ndarray] = []
+        checkpoints: dict[int, ModelState] = {}
+        cursor = start
+        current = state
+        for cut in cut_positions + [end]:
+            if cut == cursor:
+                # A chunk-aligned request that collapsed onto the segment
+                # start (or a duplicate cut): snapshot without processing.
+                if cut != end and cut != start:
+                    checkpoints[cut] = current.clone()
+                continue
+            segment = tokens[cursor - start : cut - start]
+            logits, current = self.forward(segment, current)
+            logits_parts.append(logits)
+            if cut != end:
+                checkpoints[cut] = current.clone()
+            cursor = cut
+        # A checkpoint exactly at the end of the prefill is the final state.
+        if end in cut_positions:
+            checkpoints[end] = current.clone()
+        if mode == "chunked_rollforward":
+            checkpoints = self._roll_checkpoints_forward(
+                tokens, initial, current, checkpoints, requested, start, end, chunk_size
+            )
+        return PrefillResult(
+            logits=np.concatenate(logits_parts, axis=0),
+            state=current,
+            checkpoints=checkpoints,
+        )
+
+    def _roll_checkpoints_forward(
+        self,
+        tokens: np.ndarray,
+        initial: ModelState,
+        final: ModelState,
+        snapped: dict[int, ModelState],
+        requested: list[int],
+        start: int,
+        end: int,
+        chunk_size: int,
+    ) -> dict[int, ModelState]:
+        """Roll chunk-boundary states forward to the exact requested positions.
+
+        Each requested position ``p`` is reached by re-processing the at
+        most ``chunk_size - 1`` tokens between its snapped boundary and
+        ``p`` — the recompute the paper's optional custom kernel performs.
+        ``forward`` never mutates its input state, so a boundary state can
+        seed several roll-forwards.
+        """
+        exact: dict[int, ModelState] = {}
+        for position in requested:
+            if position == end:
+                exact[position] = final.clone()
+                continue
+            boundary = start + ((position - start) // chunk_size) * chunk_size
+            base = initial if boundary == start else snapped[boundary]
+            if boundary == position:
+                exact[position] = base.clone()
+                continue
+            segment = tokens[boundary - start : position - start]
+            _, rolled = self.forward(segment, base)
+            exact[position] = rolled
+        return exact
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def decode_step(
+        self, token: int, state: ModelState
+    ) -> tuple[np.ndarray, ModelState]:
+        """One decode step; returns [V] logits for the next token."""
+        logits, new_state = self.forward(np.asarray([token]), state)
+        return logits[0], new_state
+
+    def generate(
+        self,
+        prompt_tokens: np.ndarray,
+        n_tokens: int,
+        state: ModelState | None = None,
+    ) -> tuple[np.ndarray, ModelState]:
+        """Greedy generation of ``n_tokens`` after prefilling the prompt."""
+        if n_tokens <= 0:
+            raise ValueError(f"n_tokens must be positive, got {n_tokens}")
+        result = self.prefill(np.asarray(prompt_tokens), state)
+        logits = result.logits[-1]
+        current = result.state
+        output = []
+        for _ in range(n_tokens):
+            token = greedy_token(logits)
+            output.append(token)
+            logits, current = self.decode_step(token, current)
+        return np.asarray(output, dtype=np.int32), current

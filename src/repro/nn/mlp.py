@@ -1,0 +1,19 @@
+"""Stateless SiLU MLP block."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import silu
+
+
+class MLPLayer:
+    """Two-layer MLP with 4x expansion and SiLU, no state."""
+
+    def __init__(self, d_model: int, rng: np.random.Generator) -> None:
+        hidden = 4 * d_model
+        self.w1 = rng.normal(0.0, 1.0 / np.sqrt(d_model), (d_model, hidden))
+        self.w2 = rng.normal(0.0, 1.0 / np.sqrt(hidden), (hidden, d_model))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return silu(x @ self.w1) @ self.w2

@@ -1,0 +1,25 @@
+"""Token selection for generation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def greedy_token(logits: np.ndarray) -> int:
+    """Deterministic argmax over a [V] logit vector (first index on ties)."""
+    if logits.ndim != 1:
+        raise ValueError(f"logits must be 1-D, got shape {logits.shape}")
+    return int(np.argmax(logits))
+
+
+def sample_token(
+    logits: np.ndarray, rng: np.random.Generator, temperature: float = 1.0
+) -> int:
+    """Temperature sampling over a [V] logit vector."""
+    if temperature <= 0:
+        return greedy_token(logits)
+    scaled = logits / temperature
+    scaled -= scaled.max()
+    probs = np.exp(scaled)
+    probs /= probs.sum()
+    return int(rng.choice(len(probs), p=probs))

@@ -1,0 +1,96 @@
+"""A Mamba-style selective SSM layer with causal-conv and recurrent state.
+
+The layer follows the selective-state-space recipe: project to an expanded
+inner dimension, apply a short causal depthwise convolution, derive
+input-dependent (``selective``) parameters ``B``, ``C``, ``dt`` from the
+conv output, and run the diagonal state recurrence
+
+    ``h_t = exp(dt_t * A) * h_{t-1} + (dt_t * u_t) B_t``
+    ``y_t = h_t C_t + D_skip * u_t``
+
+gated by a SiLU branch.  The recurrence is strictly sequential and the
+state is overwritten in place at every step — the property that makes
+prefix rollback impossible and motivates the whole paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import silu, softplus
+from repro.nn.states import RecurrentState
+
+
+class SSMLayer:
+    """Selective SSM block: in-proj, causal conv1d, scan, gate, out-proj."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_state: int,
+        rng: np.random.Generator,
+        *,
+        expand: int = 2,
+        d_conv: int = 4,
+    ) -> None:
+        if d_state <= 0:
+            raise ValueError(f"d_state must be positive, got {d_state}")
+        if d_conv < 2:
+            raise ValueError(f"d_conv must be >= 2, got {d_conv}")
+        self.d_model = d_model
+        self.d_state = d_state
+        self.d_inner = expand * d_model
+        self.d_conv = d_conv
+        scale = 1.0 / np.sqrt(d_model)
+        inner_scale = 1.0 / np.sqrt(self.d_inner)
+        self.w_in = rng.normal(0.0, scale, (d_model, 2 * self.d_inner))
+        self.conv_w = rng.normal(0.0, 0.5, (d_conv, self.d_inner))
+        self.conv_b = rng.normal(0.0, 0.02, (self.d_inner,))
+        self.w_b = rng.normal(0.0, inner_scale, (self.d_inner, d_state))
+        self.w_c = rng.normal(0.0, inner_scale, (self.d_inner, d_state))
+        self.w_dt = rng.normal(0.0, inner_scale, (self.d_inner, self.d_inner))
+        self.b_dt = rng.normal(-1.0, 0.2, (self.d_inner,))
+        # A is negative-diagonal for stability: A = -exp(A_log).
+        self.a_log = rng.normal(0.0, 0.5, (self.d_inner, self.d_state))
+        self.d_skip = rng.normal(0.0, 0.5, (self.d_inner,))
+        self.w_out = rng.normal(0.0, inner_scale, (self.d_inner, d_model))
+
+    def init_state(self) -> RecurrentState:
+        return RecurrentState.zeros(self.d_inner, self.d_state, self.d_conv)
+
+    def forward(
+        self, x: np.ndarray, state: RecurrentState
+    ) -> tuple[np.ndarray, RecurrentState]:
+        """Process ``x`` [T, D] from ``state``; returns output and new state.
+
+        The input state is never mutated (cached payloads stay valid); the
+        returned state reflects all T additional tokens.
+        """
+        n_new = x.shape[0]
+        xz = x @ self.w_in
+        x_in, z = xz[:, : self.d_inner], xz[:, self.d_inner :]
+
+        # Causal depthwise conv over [conv window | new tokens].
+        window = np.concatenate([state.conv, x_in], axis=0)
+        u = np.full((n_new, self.d_inner), self.conv_b)
+        for j in range(self.d_conv):
+            u = u + window[j : j + n_new] * self.conv_w[j]
+        u = silu(u)
+
+        # Selective parameters from the conv output.
+        b_sel = u @ self.w_b  # [T, N]
+        c_sel = u @ self.w_c  # [T, N]
+        dt = softplus(u @ self.w_dt + self.b_dt)  # [T, d_inner]
+
+        a = -np.exp(self.a_log)  # [d_inner, N]
+        h = state.ssm.copy()
+        y = np.empty_like(u)
+        for t in range(n_new):
+            decay = np.exp(dt[t][:, None] * a)
+            h = decay * h + (dt[t] * u[t])[:, None] * b_sel[t][None, :]
+            y[t] = h @ c_sel[t] + self.d_skip * u[t]
+
+        gated = y * silu(z)
+        out = gated @ self.w_out
+        new_state = RecurrentState(conv=window[n_new:].copy(), ssm=h)
+        return out, new_state

@@ -1,0 +1,127 @@
+"""Model-state containers: per-layer KV caches and recurrent states.
+
+These are the objects the prefix cache stores as payloads.  They embody the
+paper's core asymmetry:
+
+* :class:`KVState` has a sequence dimension — it *can* be truncated to
+  represent any prefix of the tokens it covers.
+* :class:`RecurrentState` is fixed-size and updated in place — it represents
+  exactly the sequence that produced it and nothing shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+
+@dataclass
+class KVState:
+    """KV cache of one attention layer: ``k``/``v`` of shape [T, H, Dh]."""
+
+    k: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.k.shape != self.v.shape:
+            raise ValueError(f"k/v shape mismatch: {self.k.shape} vs {self.v.shape}")
+        if self.k.ndim != 3:
+            raise ValueError(f"KV tensors must be [T, H, Dh], got {self.k.shape}")
+
+    @classmethod
+    def empty(cls, n_heads: int, head_dim: int, dtype=np.float64) -> "KVState":
+        """A zero-length KV cache (before any token is processed)."""
+        shape = (0, n_heads, head_dim)
+        return cls(k=np.zeros(shape, dtype=dtype), v=np.zeros(shape, dtype=dtype))
+
+    @property
+    def seq_len(self) -> int:
+        return self.k.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.k.nbytes + self.v.nbytes
+
+    def clone(self) -> "KVState":
+        """Deep copy (cached payloads must be immune to later decodes)."""
+        return KVState(k=self.k.copy(), v=self.v.copy())
+
+    def appended(self, k_new: np.ndarray, v_new: np.ndarray) -> "KVState":
+        """A new state with extra timesteps appended (originals untouched)."""
+        return KVState(
+            k=np.concatenate([self.k, k_new], axis=0),
+            v=np.concatenate([self.v, v_new], axis=0),
+        )
+
+    def trimmed(self, length: int) -> "KVState":
+        """The KV prefix covering the first ``length`` tokens.
+
+        This is the tensor-slicing rollback that is possible for attention
+        states and *impossible* for recurrent states (paper section 2.2).
+        """
+        if not 0 <= length <= self.seq_len:
+            raise ValueError(f"cannot trim KV of length {self.seq_len} to {length}")
+        return KVState(k=self.k[:length].copy(), v=self.v[:length].copy())
+
+
+@dataclass
+class RecurrentState:
+    """One SSM layer's state: conv window [d_conv-1, d_inner] + SSM [d_inner, N]."""
+
+    conv: np.ndarray
+    ssm: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.conv.ndim != 2 or self.ssm.ndim != 2:
+            raise ValueError("conv and ssm states must be 2-D")
+        if self.conv.shape[1] != self.ssm.shape[0]:
+            raise ValueError(
+                f"conv width {self.conv.shape[1]} != ssm channels {self.ssm.shape[0]}"
+            )
+
+    @classmethod
+    def zeros(
+        cls, d_inner: int, d_state: int, d_conv: int, dtype=np.float64
+    ) -> "RecurrentState":
+        """The all-zero initial recurrent state."""
+        return cls(
+            conv=np.zeros((d_conv - 1, d_inner), dtype=dtype),
+            ssm=np.zeros((d_inner, d_state), dtype=dtype),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.conv.nbytes + self.ssm.nbytes
+
+    def clone(self) -> "RecurrentState":
+        """Deep copy (recurrent states are updated in place downstream)."""
+        return RecurrentState(conv=self.conv.copy(), ssm=self.ssm.copy())
+
+
+LayerState = Union[KVState, RecurrentState, None]
+
+
+@dataclass
+class ModelState:
+    """All layers' states after processing ``seq_len`` tokens."""
+
+    layers: list[LayerState]
+    seq_len: int
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.layers if s is not None)
+
+    def clone(self) -> "ModelState":
+        """Deep copy of every layer state."""
+        return ModelState(
+            layers=[s.clone() if s is not None else None for s in self.layers],
+            seq_len=self.seq_len,
+        )
+
+    def kv_state(self, layer_index: int) -> Optional[KVState]:
+        """The KV cache of layer ``layer_index``, if it is an attention layer."""
+        state = self.layers[layer_index]
+        return state if isinstance(state, KVState) else None

@@ -1,0 +1,5 @@
+"""Exact-reuse serving: the executable model behind the Marconi cache."""
+
+from repro.serving.engine import ExactReuseServer, ServedRequest
+
+__all__ = ["ExactReuseServer", "ServedRequest"]

@@ -1,0 +1,23 @@
+"""Hierarchical (two-tier) prefix caching.
+
+CachedAttention and Pensieve (section 6 of the paper) show that prefix
+states evicted from the fast tier still carry value if a slower, larger
+tier can hold them.  This package extends Marconi's single-tier cache with
+a second-tier store:
+
+* evicting a *checkpointed* prefix from the primary tier demotes a
+  self-contained copy (recurrent states + the full prefix's KVs) into the
+  :class:`~repro.tiering.secondary.SecondaryStore`;
+* a lookup that misses the primary tree but matches a demoted prefix
+  re-admits the checkpoint (promotion) and serves the hit at the latency
+  model's slower secondary fetch bandwidth.
+
+Self-containment is the honest cost of the second tier: a demoted entry
+cannot share KV bytes with the radix tree it left, mirroring how real
+hierarchical caches copy whole state blobs across memory tiers.
+"""
+
+from repro.tiering.secondary import SecondaryEntry, SecondaryStore
+from repro.tiering.tiered_cache import TieredMarconiCache
+
+__all__ = ["SecondaryStore", "SecondaryEntry", "TieredMarconiCache"]

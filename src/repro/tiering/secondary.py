@@ -1,0 +1,231 @@
+"""The second-tier store: self-contained prefix states keyed by exact tokens.
+
+Entries are *flat* — no radix structure — because a demoted prefix is a
+sealed blob: the recurrent checkpoint plus the KVs of every token in the
+prefix.  Lookup asks one question: what is the deepest stored prefix of a
+query that fits under ``max_len``?  With entries indexed by ``(length,
+token-bytes)`` the store answers by probing only the distinct stored
+lengths, each with a single hash lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.interfaces import as_token_array
+
+
+@dataclass
+class SecondaryEntry:
+    """One demoted prefix: its tokens, byte footprint, and bookkeeping."""
+
+    tokens: np.ndarray
+    nbytes: int
+    last_access: float
+    flop_efficiency: float
+    created_at: float
+    hits: int = 0
+    payload: Any = None
+
+    @property
+    def seq_len(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass
+class _StoreStats:
+    insertions: int = 0
+    hits: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    rejected: int = 0
+
+
+class SecondaryStore:
+    """Capacity-bounded flat store of demoted prefix states.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Second-tier budget.
+    policy:
+        ``"lru"`` evicts by last access; ``"flop_aware"`` scores entries
+        with the same rank-normalized ``recency + alpha * flop_efficiency``
+        utility as the primary tier, so the two tiers can share Marconi's
+        eviction philosophy end to end.
+    alpha:
+        FLOP-efficiency weight for the ``flop_aware`` policy.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        policy: str = "lru",
+        alpha: float = 1.0,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be non-negative, got {capacity_bytes}")
+        if policy not in ("lru", "flop_aware"):
+            raise ValueError(f"policy must be 'lru' or 'flop_aware', got {policy!r}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.policy = policy
+        self.alpha = alpha
+        self._by_length: dict[int, dict[bytes, SecondaryEntry]] = {}
+        self._used = 0
+        self.stats = _StoreStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(bucket) for bucket in self._by_length.values())
+
+    def __contains__(self, tokens: Any) -> bool:
+        arr = as_token_array(tokens)
+        bucket = self._by_length.get(len(arr))
+        return bucket is not None and arr.tobytes() in bucket
+
+    def iter_entries(self):
+        """Yield every stored entry (no particular order)."""
+        for bucket in self._by_length.values():
+            yield from bucket.values()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        tokens: np.ndarray,
+        nbytes: int,
+        now: float,
+        *,
+        flop_efficiency: float = 0.0,
+        payload: Any = None,
+    ) -> bool:
+        """Store a demoted prefix; returns False when it cannot fit.
+
+        Re-inserting an existing prefix refreshes its bookkeeping (the
+        newer demotion wins), charging only the byte delta.
+        """
+        arr = as_token_array(tokens)
+        if len(arr) == 0:
+            raise ValueError("cannot store an empty prefix")
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        key = arr.tobytes()
+        bucket = self._by_length.setdefault(len(arr), {})
+        existing = bucket.pop(key, None)
+        if existing is not None:
+            self._used -= existing.nbytes
+        if nbytes > self.capacity_bytes:
+            self.stats.rejected += 1
+            self._drop_empty_bucket(len(arr))
+            return False
+        self._evict_until(self.capacity_bytes - nbytes, protect=key)
+        bucket = self._by_length.setdefault(len(arr), {})
+        bucket[key] = SecondaryEntry(
+            tokens=arr.copy(),
+            nbytes=int(nbytes),
+            last_access=now,
+            flop_efficiency=flop_efficiency,
+            created_at=now,
+            payload=payload,
+        )
+        self._used += int(nbytes)
+        self.stats.insertions += 1
+        return True
+
+    def remove(self, tokens: np.ndarray) -> Optional[SecondaryEntry]:
+        """Remove and return the entry for an exact prefix, if present."""
+        arr = as_token_array(tokens)
+        bucket = self._by_length.get(len(arr))
+        if bucket is None:
+            return None
+        entry = bucket.pop(arr.tobytes(), None)
+        if entry is not None:
+            self._used -= entry.nbytes
+            self._drop_empty_bucket(len(arr))
+        return entry
+
+    def longest_match(self, tokens: np.ndarray, max_len: int, now: float) -> Optional[SecondaryEntry]:
+        """Deepest stored prefix of ``tokens`` with length <= ``max_len``.
+
+        A match refreshes the entry's recency.
+        """
+        arr = as_token_array(tokens)
+        limit = min(max_len, len(arr))
+        for length in sorted(self._by_length, reverse=True):
+            if length > limit:
+                continue
+            bucket = self._by_length[length]
+            entry = bucket.get(arr[:length].tobytes())
+            if entry is not None:
+                entry.last_access = now
+                entry.hits += 1
+                self.stats.hits += 1
+                return entry
+        return None
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._by_length.clear()
+        self._used = 0
+        self.stats = _StoreStats()
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _drop_empty_bucket(self, length: int) -> None:
+        if not self._by_length.get(length):
+            self._by_length.pop(length, None)
+
+    def _scores(self, entries: list[SecondaryEntry]) -> list[float]:
+        if self.policy == "lru" or len(entries) == 1:
+            return [e.last_access for e in entries]
+        recency = _ranks([e.last_access for e in entries])
+        efficiency = _ranks([e.flop_efficiency for e in entries])
+        return [r + self.alpha * e for r, e in zip(recency, efficiency)]
+
+    def _evict_until(self, budget: int, protect: bytes | None = None) -> None:
+        while self._used > budget:
+            entries = [
+                e for e in self.iter_entries() if protect is None or e.tokens.tobytes() != protect
+            ]
+            if not entries:
+                return
+            scores = self._scores(entries)
+            victim = min(zip(scores, (e.created_at for e in entries), entries),
+                         key=lambda item: (item[0], item[1]))[2]
+            self.remove(victim.tokens)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += victim.nbytes
+
+
+def _ranks(values: list[float]) -> list[float]:
+    """Tie-aware average-rank normalization into (0, 1] (mirrors the primary tier)."""
+    n = len(values)
+    if n == 1:
+        return [1.0]
+    order = sorted(range(n), key=values.__getitem__)
+    out = [0.0] * n
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            out[order[k]] = avg / n
+        i = j + 1
+    return out

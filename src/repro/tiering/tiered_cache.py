@@ -1,0 +1,188 @@
+"""`TieredMarconiCache`: Marconi's cache with a demote/promote second tier.
+
+The primary tier is the unmodified Marconi radix-tree cache (admission,
+FLOP-aware eviction, tree mechanics).  Two hooks add the hierarchy:
+
+* **Demotion** — when the primary tier evicts a node holding a recurrent
+  checkpoint, a self-contained copy of the prefix state (checkpoint plus
+  the full prefix's KVs) is offered to the second-tier store instead of
+  being discarded.
+* **Promotion** — a lookup that would miss (or hit shallower) in the
+  primary tree first probes the second tier for a deeper exact prefix; on
+  a match the checkpoint is re-admitted into the tree, the request is
+  served from it, and the fetched bytes are reported as second-tier bytes
+  so the engine prices them at the slower bandwidth.
+
+Demotion only applies to checkpointed prefixes: with recurrent layers in
+the model those are the only entries that can serve an "all or nothing"
+hit on their own, and self-containment (KVs included) is what makes the
+promoted state usable without the tree context it left behind.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cache import MarconiCache
+from repro.core.eviction import EvictionCandidate
+from repro.core.interfaces import LookupResult, as_token_array
+from repro.models.config import ModelConfig
+from repro.models.flops import model_prefill_flops
+from repro.models.memory import (
+    kv_bytes,
+    kv_bytes_per_token,
+    model_recurrent_bytes,
+)
+from repro.tiering.secondary import SecondaryEntry, SecondaryStore
+
+
+class TieredMarconiCache(MarconiCache):
+    """Two-tier prefix cache: a Marconi primary plus a flat secondary.
+
+    Parameters
+    ----------
+    model, capacity_bytes:
+        As for :class:`~repro.core.cache.MarconiCache`; ``capacity_bytes``
+        is the *primary* tier budget.
+    secondary_bytes:
+        Second-tier budget.  Zero disables the hierarchy (the cache then
+        behaves exactly like a single-tier Marconi cache).
+    secondary_policy, secondary_alpha:
+        Eviction configuration of the second tier (see
+        :class:`~repro.tiering.secondary.SecondaryStore`).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        capacity_bytes: int,
+        secondary_bytes: int,
+        *,
+        secondary_policy: str = "lru",
+        secondary_alpha: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(model, capacity_bytes, **kwargs)
+        self._secondary_config = dict(policy=secondary_policy, alpha=secondary_alpha)
+        self.secondary = SecondaryStore(secondary_bytes, **self._secondary_config)
+
+    # ------------------------------------------------------------------
+    # Tier accounting
+    # ------------------------------------------------------------------
+    @property
+    def secondary_used_bytes(self) -> int:
+        return self.secondary.used_bytes
+
+    @property
+    def total_used_bytes(self) -> int:
+        """Bytes held across both tiers."""
+        return self.used_bytes + self.secondary.used_bytes
+
+    def reset(self) -> None:
+        super().reset()
+        # reset() is called from MarconiCache.__init__ paths only after
+        # construction; guard for the base constructor ordering.
+        if hasattr(self, "secondary"):
+            self.secondary.clear()
+
+    # ------------------------------------------------------------------
+    # Demotion (primary eviction hook)
+    # ------------------------------------------------------------------
+    def _entry_bytes(self, seq_len: int) -> int:
+        """Self-contained footprint of a demoted prefix of ``seq_len`` tokens."""
+        return kv_bytes(self.model, seq_len) + model_recurrent_bytes(self.model)
+
+    def _apply_eviction(self, victim: EvictionCandidate) -> None:
+        node = victim.node
+        if (
+            node.has_ssm_state
+            and self.model.has_recurrent_layers
+            and self.secondary.capacity_bytes > 0
+        ):
+            tokens = node.path_tokens()
+            nbytes = self._entry_bytes(node.seq_len)
+            accepted = self.secondary.insert(
+                tokens,
+                nbytes,
+                now=node.last_access,
+                flop_efficiency=model_prefill_flops(self.model, node.seq_len) / nbytes,
+                payload=node.state_payload,
+            )
+            key = "demotions" if accepted else "demotions_rejected"
+            self._stats.extra[key] = self._stats.extra.get(key, 0) + 1
+        super()._apply_eviction(victim)
+
+    # ------------------------------------------------------------------
+    # Promotion (lookup hook)
+    # ------------------------------------------------------------------
+    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult:
+        tokens = as_token_array(tokens)
+        if len(tokens) == 0:
+            raise ValueError("cannot look up an empty token sequence")
+        promoted: Optional[SecondaryEntry] = None
+        if self.model.has_recurrent_layers and self.secondary.capacity_bytes > 0:
+            match = self.tree.match(tokens)
+            primary_hit = match.deepest_ssm_node(max_seq_len=len(tokens) - 1)
+            primary_len = primary_hit.seq_len if primary_hit is not None else 0
+            entry = self.secondary.longest_match(tokens, len(tokens) - 1, now)
+            if entry is not None and entry.seq_len > primary_len:
+                if self._promote(entry, now):
+                    promoted = entry
+
+        result = super().lookup(tokens, now)
+        if promoted is not None:
+            # The whole reused state came out of the second tier.
+            result.reused_secondary_bytes = min(promoted.nbytes, result.reused_bytes)
+            self._stats.extra["secondary_hits"] = (
+                self._stats.extra.get("secondary_hits", 0) + 1
+            )
+        return result
+
+    def _promote(self, entry: SecondaryEntry, now: float) -> bool:
+        """Re-admit a demoted checkpoint into the primary tree.
+
+        Returns False (leaving the tree untouched) when the primary tier
+        cannot make room — the entry then stays in the second tier and the
+        request proceeds as a plain miss.
+        """
+        outcome = self.tree.insert(entry.tokens, now)
+        end = outcome.end_node
+        want_checkpoint = not end.has_ssm_state
+        kv_cost = outcome.new_edge_tokens * kv_bytes_per_token(self.model)
+        checkpoint_cost = model_recurrent_bytes(self.model) if want_checkpoint else 0
+
+        self.tree.pin_path(end)
+        fits = self._ensure_free(kv_cost + checkpoint_cost)
+        self.tree.unpin_path(end)
+        if not fits:
+            self._undo_insert(outcome)
+            self._stats.extra["promotions_failed"] = (
+                self._stats.extra.get("promotions_failed", 0) + 1
+            )
+            return False
+
+        self._used += kv_cost + checkpoint_cost
+        if want_checkpoint:
+            end.has_ssm_state = True
+        end.last_access = now
+        if self.store_states:
+            end.state_payload = entry.payload
+        self.secondary.remove(entry.tokens)
+        self._stats.extra["promotions"] = self._stats.extra.get("promotions", 0) + 1
+        return True
+
+    def _undo_insert(self, outcome) -> None:
+        """Structurally revert a just-performed tree insert."""
+        if outcome.new_leaf is not None and outcome.new_leaf.parent is not None:
+            self.tree.remove_leaf(outcome.new_leaf)
+        split = outcome.split_node
+        if (
+            split is not None
+            and split.parent is not None
+            and split.n_children == 1
+            and not split.has_ssm_state
+            and not split.is_pinned
+        ):
+            self.tree.merge_into_child(split)

@@ -1,0 +1,112 @@
+"""Arrival processes: Poisson session starts and think-time gaps.
+
+The paper's microbenchmarks vary two timing knobs (Fig. 13): the session
+arrival rate (sessions per second, open-loop across sessions) and the
+average response time between a session's requests (human typing / IDE
+interaction, closed-loop within a session).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PoissonProcess:
+    """Homogeneous Poisson arrivals at ``rate`` events per second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    def arrival_times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """First ``n`` arrival times (cumulative exponential gaps)."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        gaps = rng.exponential(scale=1.0 / self.rate, size=n)
+        return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class MarkovModulatedPoisson:
+    """Two-state MMPP: bursty arrivals alternating busy and quiet phases.
+
+    Real public-facing traffic (the paper's ShareGPT/LMSys setting) is
+    burstier than a homogeneous Poisson stream: diurnal peaks, retry
+    storms, and batch submissions produce arrival clusters that stress a
+    cache much harder than the same mean rate spread evenly.  The process
+    alternates exponentially-dwelled ON (``burst_rate``) and OFF
+    (``base_rate``) phases.
+    """
+
+    base_rate: float
+    burst_rate: float
+    mean_on_s: float = 10.0
+    mean_off_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0 or self.burst_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.burst_rate < self.base_rate:
+            raise ValueError(
+                f"burst_rate ({self.burst_rate}) must be >= base_rate ({self.base_rate})"
+            )
+        if self.mean_on_s <= 0 or self.mean_off_s <= 0:
+            raise ValueError("phase dwell times must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrival rate across both phases."""
+        total = self.mean_on_s + self.mean_off_s
+        return (
+            self.burst_rate * self.mean_on_s + self.base_rate * self.mean_off_s
+        ) / total
+
+    def arrival_times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """First ``n`` arrival times, alternating ON/OFF phases."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        times = np.empty(n, dtype=np.float64)
+        now = 0.0
+        produced = 0
+        on = bool(rng.random() < self.mean_on_s / (self.mean_on_s + self.mean_off_s))
+        phase_end = now + rng.exponential(self.mean_on_s if on else self.mean_off_s)
+        rate = self.burst_rate if on else self.base_rate
+        while produced < n:
+            candidate = now + rng.exponential(1.0 / rate)
+            if candidate > phase_end:
+                # No arrival before the phase flips; advance the phase.
+                now = phase_end
+                on = not on
+                rate = self.burst_rate if on else self.base_rate
+                phase_end = now + rng.exponential(
+                    self.mean_on_s if on else self.mean_off_s
+                )
+                continue
+            now = candidate
+            times[produced] = now
+            produced += 1
+        return times
+
+
+def exponential_think_times(
+    rng: np.random.Generator, n_rounds: int, mean_seconds: float
+) -> list[float]:
+    """Think-time gaps for one session: 0 before round 0, exp(mean) after.
+
+    The gap models user response time (or an agent's environment
+    interaction latency) between receiving round ``k``'s response and
+    issuing round ``k + 1``.
+    """
+    if n_rounds <= 0:
+        raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+    if mean_seconds < 0:
+        raise ValueError(f"mean_seconds must be non-negative, got {mean_seconds}")
+    if n_rounds == 1:
+        return [0.0]
+    gaps = rng.exponential(scale=mean_seconds, size=n_rounds - 1) if mean_seconds > 0 else np.zeros(n_rounds - 1)
+    return [0.0] + [float(g) for g in gaps]

@@ -1,0 +1,94 @@
+"""Length and count distributions for synthetic traces.
+
+Sequence lengths in LLM traffic are famously heavy-tailed; the paper's
+Fig. 6 histograms show lognormal-looking bodies with dataset-specific tails.
+We model token counts as clipped lognormals (parameterized by their median,
+which is more interpretable than the underlying mu) and per-session round
+counts as clipped geometrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogNormalLength:
+    """Clipped lognormal over token counts.
+
+    ``median`` is the distribution median (``exp(mu)``); ``sigma`` is the
+    log-space standard deviation controlling tail heaviness.
+    """
+
+    median: float
+    sigma: float
+    minimum: int = 1
+    maximum: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError(f"median must be positive, got {self.median}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        if not 1 <= self.minimum <= self.maximum:
+            raise ValueError(
+                f"need 1 <= minimum <= maximum, got [{self.minimum}, {self.maximum}]"
+            )
+
+    @property
+    def mu(self) -> float:
+        return math.log(self.median)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the *unclipped* lognormal."""
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(self.sample_many(rng, 1)[0])
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        raw = rng.lognormal(mean=self.mu, sigma=self.sigma, size=size)
+        return np.clip(np.rint(raw), self.minimum, self.maximum).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class GeometricCount:
+    """Clipped geometric over small counts (e.g. rounds per session)."""
+
+    mean: float
+    minimum: int = 1
+    maximum: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        if self.mean < 1:
+            raise ValueError(f"mean must be >= 1, got {self.mean}")
+        if not 1 <= self.minimum <= self.maximum:
+            raise ValueError(
+                f"need 1 <= minimum <= maximum, got [{self.minimum}, {self.maximum}]"
+            )
+
+    def sample(self, rng: np.random.Generator) -> int:
+        # Geometric with support {1, 2, ...} and the requested mean.
+        p = 1.0 / self.mean
+        value = int(rng.geometric(p))
+        return int(np.clip(value, self.minimum, self.maximum))
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf popularity weights over ``n`` items."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def sample_zipf(rng: np.random.Generator, n: int, exponent: float) -> int:
+    """Sample an item index in ``[0, n)`` with Zipf popularity."""
+    return int(rng.choice(n, p=zipf_weights(n, exponent)))

@@ -1,0 +1,77 @@
+"""Workload mixtures: several tenant workloads sharing one cache.
+
+Production deployments rarely serve a single traffic class; a chatbot
+tenant (short, bursty, heavy input+output reuse) typically shares the
+serving fleet — and therefore the prefix cache — with agentic or batch
+tenants (long contexts, purely-input reuse).  A mixture interleaves
+component traces on a common timeline so cache policies can be stressed on
+the *combination*: the regime where a recency-only policy lets one
+tenant's burst evict another tenant's far more FLOP-efficient prefixes.
+
+Sessions are re-identified with per-component offsets so downstream
+consumers (engine, cluster router, analysis) see one coherent trace;
+``metadata["components"]`` records the provenance of each id range.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import Trace, TraceSession
+
+# Component session-id ranges are spaced this far apart; the mixture
+# refuses components larger than this so ids can never collide.
+_ID_STRIDE = 1_000_000
+
+
+def mix_traces(traces: list[Trace], name: str | None = None) -> Trace:
+    """Interleave component traces on their shared timeline.
+
+    Arrival times are kept as generated — components already place their
+    sessions on an absolute clock, so mixing is a merge, not a reschedule.
+    Session ids are remapped to ``component_index * 1e6 + original_id``.
+    """
+    if not traces:
+        raise ValueError("need at least one component trace")
+    sessions: list[TraceSession] = []
+    components = []
+    for index, component in enumerate(traces):
+        if component.n_sessions >= _ID_STRIDE:
+            raise ValueError(
+                f"component {component.name!r} has {component.n_sessions} sessions; "
+                f"the mixture supports at most {_ID_STRIDE - 1} per component"
+            )
+        offset = index * _ID_STRIDE
+        for session in component.sessions:
+            sessions.append(
+                TraceSession(
+                    session_id=offset + session.session_id,
+                    arrival_time=session.arrival_time,
+                    rounds=session.rounds,
+                    think_times=session.think_times,
+                )
+            )
+        components.append(
+            {
+                "name": component.name,
+                "seed": component.seed,
+                "n_sessions": component.n_sessions,
+                "session_id_offset": offset,
+            }
+        )
+    sessions.sort(key=lambda s: (s.arrival_time, s.session_id))
+    return Trace(
+        name=name or "+".join(t.name for t in traces),
+        seed=traces[0].seed,
+        sessions=sessions,
+        metadata={"components": components},
+    )
+
+
+def component_of(trace: Trace, session_id: int) -> str:
+    """Name of the mixture component a session id belongs to."""
+    components = trace.metadata.get("components")
+    if not components:
+        raise ValueError(f"trace {trace.name!r} is not a mixture")
+    index = session_id // _ID_STRIDE
+    if not 0 <= index < len(components):
+        raise KeyError(f"session id {session_id} outside any component range")
+    return components[index]["name"]

@@ -1,0 +1,39 @@
+"""Name-based access to the workload generators.
+
+``lmsys``, ``sharegpt``, and ``swebench`` are the paper's three evaluation
+workloads; ``docqa``, ``fewshot``, and ``selfconsistency`` instantiate the
+remaining purely-input scenarios of the section 4.1 taxonomy.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.docqa import generate_docqa_trace
+from repro.workloads.fewshot import generate_fewshot_trace
+from repro.workloads.lmsys import generate_lmsys_trace
+from repro.workloads.selfconsistency import generate_selfconsistency_trace
+from repro.workloads.sessions import WorkloadParams
+from repro.workloads.sharegpt import generate_sharegpt_trace
+from repro.workloads.swebench import generate_swebench_trace
+from repro.workloads.trace import Trace
+
+_GENERATORS = {
+    "lmsys": generate_lmsys_trace,
+    "sharegpt": generate_sharegpt_trace,
+    "swebench": generate_swebench_trace,
+    "docqa": generate_docqa_trace,
+    "fewshot": generate_fewshot_trace,
+    "selfconsistency": generate_selfconsistency_trace,
+}
+
+WORKLOAD_NAMES: tuple[str, ...] = tuple(sorted(_GENERATORS))
+
+
+def generate_trace(workload: str, params: WorkloadParams | None = None, **kwargs) -> Trace:
+    """Generate a trace by workload name (see :data:`WORKLOAD_NAMES`)."""
+    try:
+        generator = _GENERATORS[workload]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {workload!r}; known: {WORKLOAD_NAMES}"
+        ) from None
+    return generator(params, **kwargs)

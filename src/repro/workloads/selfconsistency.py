@@ -1,0 +1,129 @@
+"""Self-consistency sampling workload (Wang et al. 2022; paper section 4.1).
+
+The paper lists "self-consistency (Wang et al., 2022)" among the *purely
+input* reuse scenarios: the same chain-of-thought prompt is sampled ``k``
+times and the answers are majority-voted, so ``k`` requests with
+*byte-identical inputs* arrive nearly simultaneously.
+
+This workload is the sharpest probe of the "all or nothing" property: for
+*byte-identical* inputs the branch point sits exactly at the input
+boundary, and a recurrent checkpoint can only serve a strictly longer
+input (the final input token must always be prefilled to produce the first
+decode step's logits) — so Marconi's node-granular checkpoints cannot
+serve the repeats, while vLLM+'s block-grained states reuse all but the
+final partial block, at its usual per-sample memory cost.  The reuse
+Marconi *does* capture here is the shared chain-of-thought preamble across
+queries (the template pool), making this the honest stress test of where
+judicious admission trades hit rate for memory.
+
+Because all ``k`` samples share one query, ``WorkloadParams.n_sessions``
+counts *queries*; each query emits one single-round session per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.distributions import GeometricCount, LogNormalLength
+from repro.workloads.sessions import WorkloadParams, _pool_seed
+from repro.workloads.trace import Trace, TraceRound, TraceSession
+from repro.workloads.vocab import SharedSegmentPool, fresh_tokens
+
+
+@dataclass(frozen=True)
+class SelfConsistencyShape:
+    """Distributional knobs of the self-consistency workload."""
+
+    name: str = "selfconsistency"
+    samples: GeometricCount = GeometricCount(mean=8.0, minimum=2, maximum=40)
+    question: LogNormalLength = LogNormalLength(median=180, sigma=0.7, minimum=20, maximum=2000)
+    output: LogNormalLength = LogNormalLength(median=350, sigma=0.8, minimum=32, maximum=3000)
+    n_templates: int = 12
+    template_length: LogNormalLength = LogNormalLength(
+        median=600, sigma=0.5, minimum=100, maximum=3000
+    )
+    template_zipf: float = 1.2
+    sample_spread_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sample_spread_s < 0:
+            raise ValueError(
+                f"sample_spread_s must be non-negative, got {self.sample_spread_s}"
+            )
+
+
+SELFCONSISTENCY_SHAPE = SelfConsistencyShape()
+
+
+def build_selfconsistency_trace(
+    shape: SelfConsistencyShape, params: WorkloadParams
+) -> Trace:
+    """Generate a self-consistency trace (deterministic in the seed)."""
+    rng = np.random.default_rng(params.seed)
+    pool = SharedSegmentPool(
+        base_seed=_pool_seed(shape.name, params.seed),
+        n_templates=shape.n_templates,
+        length=shape.template_length,
+        vocab_size=params.vocab_size,
+        zipf_exponent=shape.template_zipf,
+    )
+    query_arrivals = params.make_arrival_process().arrival_times(
+        rng, params.n_sessions
+    )
+
+    sessions: list[TraceSession] = []
+    session_id = 0
+    total_samples = 0
+    for query_index in range(params.n_sessions):
+        k = shape.samples.sample(rng)
+        total_samples += k
+        prompt = np.concatenate(
+            [
+                pool.sample(rng),
+                fresh_tokens(rng, shape.question.sample(rng), params.vocab_size),
+            ]
+        )
+        base_arrival = float(query_arrivals[query_index])
+        for sample_index in range(k):
+            # The first sample fires at the query's arrival; the rest land
+            # within the dispatch spread (parallel sampling with queueing
+            # jitter, not a think-time loop).
+            offset = 0.0 if sample_index == 0 else float(
+                rng.uniform(0.0, shape.sample_spread_s)
+            )
+            output = fresh_tokens(rng, shape.output.sample(rng), params.vocab_size)
+            sessions.append(
+                TraceSession(
+                    session_id=session_id,
+                    arrival_time=base_arrival + offset,
+                    rounds=[TraceRound(new_input_tokens=prompt, output_tokens=output)],
+                    think_times=[0.0],
+                )
+            )
+            session_id += 1
+
+    return Trace(
+        name=shape.name,
+        seed=params.seed,
+        sessions=sessions,
+        metadata={
+            "n_queries": params.n_sessions,
+            "n_samples": total_samples,
+            "session_rate": params.session_rate,
+            "mean_think_s": params.mean_think_s,
+            "vocab_size": params.vocab_size,
+        },
+    )
+
+
+def generate_selfconsistency_trace(
+    params: WorkloadParams | None = None, **kwargs
+) -> Trace:
+    """Generate a self-consistency trace; kwargs override :class:`WorkloadParams`."""
+    if params is None:
+        params = WorkloadParams(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either params or keyword overrides, not both")
+    return build_selfconsistency_trace(SELFCONSISTENCY_SHAPE, params)

@@ -1,0 +1,212 @@
+"""Common machinery for building multi-round session traces.
+
+Every workload (LMSys-like chat, ShareGPT-like chat, SWE-Bench-like agent
+trajectories) is an instance of the same generative skeleton:
+
+* sessions arrive at ``session_rate`` per second — Poisson by default, or
+  a bursty two-state MMPP via ``WorkloadParams.arrival_process``;
+* every session optionally opens with a *global preamble* shared by all
+  sessions of the workload (a deployment-wide system prompt), followed by
+  an optional *shared* template segment (task instructions / few-shot
+  preamble / document) drawn from a Zipf-popular pool — both are the
+  cross-session "purely input" reuse class, at two nesting levels;
+* each round appends a fresh input segment (user turn or environment
+  observation) and a fresh output segment (model response or agent
+  action) — the within-session "input + output" reuse class;
+* rounds stop at the workload's round count or when the accumulated
+  context exceeds ``max_context_tokens`` (mirroring context-window limits).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.arrivals import (
+    MarkovModulatedPoisson,
+    PoissonProcess,
+    exponential_think_times,
+)
+from repro.workloads.distributions import GeometricCount, LogNormalLength
+from repro.workloads.trace import Trace, TraceRound, TraceSession
+from repro.workloads.vocab import SharedSegmentPool, fresh_tokens
+
+
+@dataclass(frozen=True)
+class SessionShape:
+    """Workload-specific distributional knobs (see module docstring)."""
+
+    name: str
+    rounds: GeometricCount
+    first_turn: LogNormalLength
+    later_turn: LogNormalLength
+    output: LogNormalLength
+    shared_prefix_prob: float
+    n_templates: int
+    template_length: LogNormalLength
+    template_zipf: float = 1.2
+    max_context_tokens: int = 32768
+    global_preamble_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.shared_prefix_prob <= 1.0:
+            raise ValueError(
+                f"shared_prefix_prob must be in [0, 1], got {self.shared_prefix_prob}"
+            )
+        if self.max_context_tokens <= 0:
+            raise ValueError("max_context_tokens must be positive")
+        if self.global_preamble_tokens < 0:
+            raise ValueError("global_preamble_tokens must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Scale and timing knobs shared by all workloads.
+
+    ``session_rate`` and ``mean_think_s`` are the two arrival-pattern axes
+    the paper sweeps in Fig. 13.  ``arrival_process`` selects homogeneous
+    Poisson sessions (the paper's setting) or a bursty two-state MMPP with
+    the same long-run rate (2.5x the rate during bursts, 0.5x between
+    them) — public-facing traffic is rarely as smooth as Poisson.
+    """
+
+    n_sessions: int = 100
+    session_rate: float = 1.0
+    mean_think_s: float = 5.0
+    seed: int = 0
+    vocab_size: int = 32000
+    arrival_process: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.n_sessions <= 0:
+            raise ValueError(f"n_sessions must be positive, got {self.n_sessions}")
+        if self.session_rate <= 0:
+            raise ValueError(f"session_rate must be positive, got {self.session_rate}")
+        if self.mean_think_s < 0:
+            raise ValueError(f"mean_think_s must be non-negative, got {self.mean_think_s}")
+        if self.vocab_size <= 1:
+            raise ValueError(f"vocab_size must be > 1, got {self.vocab_size}")
+        if self.arrival_process not in ("poisson", "bursty"):
+            raise ValueError(
+                f"arrival_process must be 'poisson' or 'bursty', "
+                f"got {self.arrival_process!r}"
+            )
+
+    def make_arrival_process(self):
+        """The configured session arrival process."""
+        if self.arrival_process == "bursty":
+            # (2.5 * on + 0.5 * off) / (on + off) == 1 for on=10, off=30,
+            # so the long-run rate equals session_rate exactly.
+            return MarkovModulatedPoisson(
+                base_rate=0.5 * self.session_rate,
+                burst_rate=2.5 * self.session_rate,
+                mean_on_s=10.0,
+                mean_off_s=30.0,
+            )
+        return PoissonProcess(self.session_rate)
+
+
+def _pool_seed(shape_name: str, seed: int) -> int:
+    """Stable integer seed for the template pool of one (workload, seed) pair.
+
+    Template *content* is shared across traces with the same seed — two
+    traces of the same workload can legitimately share system prompts —
+    while differing workloads never collide.
+    """
+    return (zlib.crc32(shape_name.encode()) << 16) ^ (seed & 0xFFFF_FFFF)
+
+
+def build_trace(shape: SessionShape, params: WorkloadParams) -> Trace:
+    """Generate a full trace for one workload shape (deterministic in seed)."""
+    rng = np.random.default_rng(params.seed)
+    pool = SharedSegmentPool(
+        base_seed=_pool_seed(shape.name, params.seed),
+        n_templates=shape.n_templates,
+        length=shape.template_length,
+        vocab_size=params.vocab_size,
+        zipf_exponent=shape.template_zipf,
+    )
+    preamble = global_preamble(shape, params)
+    arrivals = params.make_arrival_process().arrival_times(rng, params.n_sessions)
+
+    sessions = []
+    for session_id in range(params.n_sessions):
+        sessions.append(
+            _build_session(
+                session_id=session_id,
+                arrival_time=float(arrivals[session_id]),
+                shape=shape,
+                params=params,
+                pool=pool,
+                preamble=preamble,
+                rng=rng,
+            )
+        )
+    return Trace(
+        name=shape.name,
+        seed=params.seed,
+        sessions=sessions,
+        metadata={
+            "n_sessions": params.n_sessions,
+            "session_rate": params.session_rate,
+            "mean_think_s": params.mean_think_s,
+            "vocab_size": params.vocab_size,
+        },
+    )
+
+
+def global_preamble(shape: SessionShape, params: WorkloadParams) -> np.ndarray:
+    """The deployment-wide shared prefix for one (workload, seed) pair.
+
+    Deterministic in the same seed material as the template pool, so every
+    session of a trace — and every trace sharing the seed — opens with the
+    same tokens.
+    """
+    if shape.global_preamble_tokens == 0:
+        return np.empty(0, dtype=np.int32)
+    preamble_tag = zlib.crc32(b"global-preamble")
+    rng = np.random.default_rng((_pool_seed(shape.name, params.seed), preamble_tag))
+    return fresh_tokens(rng, shape.global_preamble_tokens, params.vocab_size)
+
+
+def _build_session(
+    session_id: int,
+    arrival_time: float,
+    shape: SessionShape,
+    params: WorkloadParams,
+    pool: SharedSegmentPool,
+    preamble: np.ndarray,
+    rng: np.random.Generator,
+) -> TraceSession:
+    target_rounds = shape.rounds.sample(rng)
+    rounds: list[TraceRound] = []
+    context = 0
+    for round_index in range(target_rounds):
+        if round_index == 0:
+            parts = []
+            if len(preamble) > 0:
+                parts.append(preamble)
+            if rng.random() < shape.shared_prefix_prob:
+                parts.append(pool.sample(rng))
+            parts.append(
+                fresh_tokens(rng, shape.first_turn.sample(rng), params.vocab_size)
+            )
+            new_input = np.concatenate(parts)
+        else:
+            new_input = fresh_tokens(
+                rng, shape.later_turn.sample(rng), params.vocab_size
+            )
+        output = fresh_tokens(rng, shape.output.sample(rng), params.vocab_size)
+        if round_index > 0 and context + len(new_input) > shape.max_context_tokens:
+            break
+        rounds.append(TraceRound(new_input_tokens=new_input, output_tokens=output))
+        context += len(new_input) + len(output)
+    think_times = exponential_think_times(rng, len(rounds), params.mean_think_s)
+    return TraceSession(
+        session_id=session_id,
+        arrival_time=arrival_time,
+        rounds=rounds,
+        think_times=think_times,
+    )

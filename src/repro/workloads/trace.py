@@ -1,0 +1,211 @@
+"""Trace schema: sessions of multi-round requests with arrival timing.
+
+A trace is the unit the experiment harness consumes.  Sessions arrive at
+``arrival_time``; within a session, round ``k``'s request input is the full
+accumulated context (all previous inputs and outputs) plus the round's new
+input segment, and the next round arrives ``think_times[k+1]`` seconds after
+round ``k``'s response completes (closed-loop per session).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass
+class TraceRound:
+    """One request round: the newly appended input and the model's output."""
+
+    new_input_tokens: np.ndarray
+    output_tokens: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.new_input_tokens = np.asarray(self.new_input_tokens, dtype=np.int32)
+        self.output_tokens = np.asarray(self.output_tokens, dtype=np.int32)
+        if len(self.new_input_tokens) == 0:
+            raise ValueError("a round must append at least one input token")
+        if len(self.output_tokens) == 0:
+            raise ValueError("a round must produce at least one output token")
+
+
+@dataclass
+class TraceSession:
+    """A chat session / agent trajectory: rounds plus think-time gaps."""
+
+    session_id: int
+    arrival_time: float
+    rounds: list[TraceRound]
+    think_times: list[float]
+
+    def __post_init__(self) -> None:
+        if not self.rounds:
+            raise ValueError("session must contain at least one round")
+        if len(self.think_times) != len(self.rounds):
+            raise ValueError(
+                f"need one think time per round (first is 0), got "
+                f"{len(self.think_times)} for {len(self.rounds)} rounds"
+            )
+        if self.think_times[0] != 0.0:
+            raise ValueError("think time before the first round must be 0")
+        if any(t < 0 for t in self.think_times):
+            raise ValueError("think times must be non-negative")
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def full_input(self, round_index: int) -> np.ndarray:
+        """Complete input of round ``round_index`` (accumulated context + new)."""
+        parts: list[np.ndarray] = []
+        for r in self.rounds[:round_index]:
+            parts.append(r.new_input_tokens)
+            parts.append(r.output_tokens)
+        parts.append(self.rounds[round_index].new_input_tokens)
+        return np.concatenate(parts)
+
+    def full_sequence(self, round_index: int) -> np.ndarray:
+        """Input of round ``round_index`` plus its output."""
+        return np.concatenate(
+            [self.full_input(round_index), self.rounds[round_index].output_tokens]
+        )
+
+    def input_lengths(self) -> list[int]:
+        """Full-input token count of every round (the Fig. 6 input metric)."""
+        lengths = []
+        context = 0
+        for r in self.rounds:
+            lengths.append(context + len(r.new_input_tokens))
+            context += len(r.new_input_tokens) + len(r.output_tokens)
+        return lengths
+
+    def output_lengths(self) -> list[int]:
+        return [len(r.output_tokens) for r in self.rounds]
+
+
+@dataclass
+class Trace:
+    """A full workload trace: many sessions plus generation metadata."""
+
+    name: str
+    seed: int
+    sessions: list[TraceSession]
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(s.n_rounds for s in self.sessions)
+
+    def input_lengths(self) -> np.ndarray:
+        """All requests' full-input lengths (Fig. 6 input distribution)."""
+        values: list[int] = []
+        for session in self.sessions:
+            values.extend(session.input_lengths())
+        return np.asarray(values, dtype=np.int64)
+
+    def output_lengths(self) -> np.ndarray:
+        values: list[int] = []
+        for session in self.sessions:
+            values.extend(session.output_lengths())
+        return np.asarray(values, dtype=np.int64)
+
+    @property
+    def total_input_tokens(self) -> int:
+        return int(self.input_lengths().sum())
+
+    def iter_requests_nominal(
+        self,
+    ) -> Iterator[tuple[float, int, int, np.ndarray, np.ndarray]]:
+        """Yield ``(nominal_time, session_id, round, input, full_sequence)``.
+
+        Nominal time assumes zero service latency (arrival plus accumulated
+        think times) and is used by engine-less replays (the oracle, quick
+        policy comparisons); the serving simulator computes the true
+        closed-loop timing instead.
+        """
+        entries = []
+        for session in self.sessions:
+            t = session.arrival_time
+            for k in range(session.n_rounds):
+                t += session.think_times[k]
+                entries.append(
+                    (
+                        t,
+                        session.session_id,
+                        k,
+                        session.full_input(k),
+                        session.full_sequence(k),
+                    )
+                )
+        entries.sort(key=lambda e: (e[0], e[1], e[2]))
+        yield from entries
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: str | Path) -> None:
+        """Write the trace as one JSON header line plus one line per session."""
+        path = Path(path)
+        with path.open("w") as fh:
+            header = {
+                "kind": "trace-header",
+                "name": self.name,
+                "seed": self.seed,
+                "metadata": self.metadata,
+            }
+            fh.write(json.dumps(header) + "\n")
+            for session in self.sessions:
+                record = {
+                    "session_id": session.session_id,
+                    "arrival_time": session.arrival_time,
+                    "think_times": list(session.think_times),
+                    "rounds": [
+                        {
+                            "input": r.new_input_tokens.tolist(),
+                            "output": r.output_tokens.tolist(),
+                        }
+                        for r in session.rounds
+                    ],
+                }
+                fh.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "Trace":
+        """Load a trace written by :meth:`to_jsonl`."""
+        path = Path(path)
+        with path.open() as fh:
+            header = json.loads(fh.readline())
+            if header.get("kind") != "trace-header":
+                raise ValueError(f"{path} is not a trace file (bad header)")
+            sessions = []
+            for line in fh:
+                record = json.loads(line)
+                rounds = [
+                    TraceRound(
+                        new_input_tokens=np.asarray(r["input"], dtype=np.int32),
+                        output_tokens=np.asarray(r["output"], dtype=np.int32),
+                    )
+                    for r in record["rounds"]
+                ]
+                sessions.append(
+                    TraceSession(
+                        session_id=record["session_id"],
+                        arrival_time=record["arrival_time"],
+                        rounds=rounds,
+                        think_times=list(record["think_times"]),
+                    )
+                )
+        return cls(
+            name=header["name"],
+            seed=header["seed"],
+            sessions=sessions,
+            metadata=header.get("metadata", {}),
+        )

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.config import ModelConfig
+from repro.models.presets import hybrid_7b, tiny_test_model, transformer_7b
+
+
+@pytest.fixture
+def hybrid() -> ModelConfig:
+    """The paper's 7B hybrid (4 Attention / 24 SSM / 28 MLP)."""
+    return hybrid_7b()
+
+
+@pytest.fixture
+def transformer() -> ModelConfig:
+    return transformer_7b()
+
+
+@pytest.fixture
+def tiny() -> ModelConfig:
+    """A small hybrid usable by the executable NumPy model."""
+    return tiny_test_model()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tokens(rng):
+    """Factory for random int32 token arrays."""
+
+    def make(n: int, seed: int | None = None) -> np.ndarray:
+        local = np.random.default_rng(seed) if seed is not None else rng
+        return local.integers(0, 32000, size=n, dtype=np.int32)
+
+    return make

@@ -1,0 +1,122 @@
+"""Direct unit tests for the hash-chained BlockStore."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.block_store import BlockStore, _ROOT_ID
+
+
+def arr(*values):
+    return np.asarray(values, dtype=np.int32)
+
+
+def chunk(rng, n=4):
+    return rng.integers(0, 100, n, dtype=np.int32)
+
+
+class TestInsertAndMatch:
+    def test_insert_full_block_only(self):
+        store = BlockStore(block_size=4)
+        with pytest.raises(ValueError, match="full blocks"):
+            store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)
+
+    def test_duplicate_insert_rejected(self):
+        store = BlockStore(block_size=4)
+        store.insert_block(_ROOT_ID, arr(1, 2, 3, 4), now=0.0)
+        with pytest.raises(ValueError, match="already cached"):
+            store.insert_block(_ROOT_ID, arr(1, 2, 3, 4), now=1.0)
+
+    def test_missing_parent_rejected(self):
+        store = BlockStore(block_size=4)
+        with pytest.raises(ValueError, match="parent"):
+            store.insert_block(999, arr(1, 2, 3, 4), now=0.0)
+
+    def test_chain_depth(self):
+        store = BlockStore(block_size=2)
+        a = store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)
+        b = store.insert_block(a.block_id, arr(3, 4), now=0.0)
+        assert (a.depth, b.depth) == (1, 2)
+        assert a.n_children == 1
+
+    def test_match_chain_stops_at_gap(self):
+        store = BlockStore(block_size=2)
+        a = store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)
+        store.insert_block(a.block_id, arr(3, 4), now=0.0)
+        assert len(store.match_chain(arr(1, 2, 3, 4, 5, 6))) == 2
+        assert len(store.match_chain(arr(1, 2, 9, 9))) == 1
+        assert len(store.match_chain(arr(9, 9))) == 0
+
+    def test_match_chain_max_blocks(self):
+        store = BlockStore(block_size=2)
+        a = store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)
+        store.insert_block(a.block_id, arr(3, 4), now=0.0)
+        assert len(store.match_chain(arr(1, 2, 3, 4), max_blocks=1)) == 1
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            BlockStore(block_size=0)
+
+
+class TestLRULeafEviction:
+    def test_pops_oldest_leaf_not_internal(self):
+        store = BlockStore(block_size=2)
+        a = store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)  # oldest, internal
+        b = store.insert_block(a.block_id, arr(3, 4), now=1.0)  # leaf
+        c = store.insert_block(_ROOT_ID, arr(5, 6), now=2.0)  # leaf
+        victim = store.pop_lru_leaf()
+        assert victim is b  # a is internal despite being oldest
+        victim = store.pop_lru_leaf()
+        assert victim is a  # becomes a leaf once b is gone
+        assert store.pop_lru_leaf() is c
+        assert store.pop_lru_leaf() is None
+
+    def test_touch_refreshes_order(self):
+        store = BlockStore(block_size=2)
+        a = store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)
+        b = store.insert_block(_ROOT_ID, arr(3, 4), now=1.0)
+        store.touch(a, now=5.0)
+        assert store.pop_lru_leaf() is b
+
+    def test_internal_entry_survives_deferred_pop(self):
+        """A block whose heap entry is popped while it is internal must
+        still be evictable later (the lazy heap re-pushes it)."""
+        store = BlockStore(block_size=2)
+        a = store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)
+        b = store.insert_block(a.block_id, arr(3, 4), now=1.0)
+        assert store.pop_lru_leaf() is b
+        assert store.pop_lru_leaf() is a
+        assert store.n_blocks == 0
+
+    def test_integrity_under_random_ops(self, rng):
+        store = BlockStore(block_size=2)
+        frontier = [_ROOT_ID]
+        for i in range(200):
+            if rng.random() < 0.6 or store.n_blocks == 0:
+                parent = int(rng.choice(frontier))
+                if store.has_block(parent):
+                    tokens = chunk(rng, 2)
+                    if store.get(parent, tokens) is None:
+                        block = store.insert_block(parent, tokens, now=float(i))
+                        frontier.append(block.block_id)
+            else:
+                store.pop_lru_leaf()
+            store.check_integrity()
+
+
+class TestReuseCounters:
+    def test_mark_reused_counts_once(self):
+        store = BlockStore(block_size=2)
+        a = store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)
+        b = store.insert_block(a.block_id, arr(3, 4), now=0.0)
+        store.mark_reused([a, b], hybrid=True)
+        store.mark_reused([a, b], hybrid=True)
+        assert store.reuse_stats.blocks_kv_reused == 2
+        assert store.reuse_stats.blocks_ssm_reused == 1  # only the deepest
+
+    def test_rates(self):
+        store = BlockStore(block_size=2)
+        a = store.insert_block(_ROOT_ID, arr(1, 2), now=0.0)
+        store.insert_block(a.block_id, arr(3, 4), now=0.0)
+        store.mark_reused([a], hybrid=False)
+        assert store.reuse_stats.kv_reuse_rate == pytest.approx(0.5)
+        assert store.reuse_stats.ssm_reuse_rate == 0.0

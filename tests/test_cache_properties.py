@@ -1,0 +1,129 @@
+"""Property-based tests: cache and tree invariants under random workloads."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import MarconiCache
+from repro.core.radix_tree import RadixTree
+from repro.models.presets import tiny_test_model
+
+# Small alphabet makes prefix collisions (splits, extensions) likely.
+token_seq = st.lists(st.integers(0, 3), min_size=1, max_size=24)
+
+
+@st.composite
+def request_stream(draw):
+    """A list of (input, output) pairs with organic prefix sharing."""
+    n = draw(st.integers(2, 14))
+    requests = []
+    history: list[list[int]] = []
+    for _ in range(n):
+        if history and draw(st.booleans()):
+            base = draw(st.sampled_from(history))
+            cut = draw(st.integers(1, len(base)))
+            inp = base[:cut] + draw(token_seq)
+        else:
+            inp = draw(token_seq)
+        out = draw(token_seq)
+        requests.append((inp, out))
+        history.append(inp + out)
+    return requests
+
+
+class TestTreeInvariants:
+    @given(seqs=st.lists(token_seq, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_then_match_roundtrip(self, seqs):
+        tree = RadixTree()
+        for i, seq in enumerate(seqs):
+            tree.insert(np.asarray(seq, dtype=np.int32), now=float(i))
+        tree.check_integrity()
+        for seq in seqs:
+            arr = np.asarray(seq, dtype=np.int32)
+            match = tree.match(arr)
+            assert match.matched_len == len(seq)
+
+    @given(seqs=st.lists(token_seq, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_token_conservation(self, seqs):
+        """Total edge tokens equals the trie's distinct-prefix token count."""
+        tree = RadixTree()
+        for i, seq in enumerate(seqs):
+            tree.insert(np.asarray(seq, dtype=np.int32), now=float(i))
+        prefixes = set()
+        for seq in seqs:
+            for k in range(1, len(seq) + 1):
+                prefixes.add(tuple(seq[:k]))
+        assert tree.total_edge_tokens == len(prefixes)
+
+    @given(seqs=st.lists(token_seq, min_size=2, max_size=16), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_preserves_remaining_paths(self, seqs, data):
+        tree = RadixTree()
+        for i, seq in enumerate(seqs):
+            tree.insert(np.asarray(seq, dtype=np.int32), now=float(i))
+        # Evict a random half of the evictable nodes.
+        for _ in range(len(seqs)):
+            nodes = [n for n in tree.iter_nodes() if n.n_children <= 1]
+            if not nodes:
+                break
+            node = data.draw(st.sampled_from(nodes))
+            if node.is_leaf:
+                tree.remove_leaf(node)
+            else:
+                tree.merge_into_child(node)
+            tree.check_integrity()
+
+
+class TestCacheInvariants:
+    @given(requests=request_stream(), capacity_kb=st.integers(1, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_accounting_and_capacity(self, requests, capacity_kb):
+        """used_bytes always equals the recomputed sum and never exceeds
+        capacity after admission settles."""
+        model = tiny_test_model()
+        cache = MarconiCache(model, capacity_bytes=capacity_kb * 1024, alpha=1.0)
+        for i, (inp, out) in enumerate(requests):
+            arr_in = np.asarray(inp, dtype=np.int32)
+            arr_full = np.asarray(inp + out, dtype=np.int32)
+            r = cache.lookup(arr_in, float(i))
+            assert 0 <= r.hit_tokens < len(arr_in)
+            cache.admit(arr_full, float(i) + 0.5, handle=r.handle)
+            assert cache.used_bytes == cache.recompute_used_bytes()
+            assert cache.used_bytes <= cache.capacity_bytes
+            cache.tree.check_integrity()
+
+    @given(requests=request_stream())
+    @settings(max_examples=50, deadline=None)
+    def test_hits_are_true_prefixes(self, requests):
+        """Any reported hit must correspond to a previously seen sequence
+        prefix of the exact same tokens."""
+        model = tiny_test_model()
+        cache = MarconiCache(model, capacity_bytes=int(1e9), alpha=1.0)
+        seen_prefixes: set[tuple] = set()
+        for i, (inp, out) in enumerate(requests):
+            arr_in = np.asarray(inp, dtype=np.int32)
+            r = cache.lookup(arr_in, float(i))
+            if r.hit_tokens > 0:
+                assert tuple(inp[: r.hit_tokens]) in seen_prefixes
+            full = inp + out
+            cache.admit(np.asarray(full, dtype=np.int32), float(i) + 0.5, handle=r.handle)
+            for k in range(1, len(full) + 1):
+                seen_prefixes.add(tuple(full[:k]))
+
+    @given(requests=request_stream())
+    @settings(max_examples=30, deadline=None)
+    def test_stats_consistency(self, requests):
+        model = tiny_test_model()
+        cache = MarconiCache(model, capacity_bytes=int(1e9), alpha=0.5)
+        total_input = 0
+        total_hit = 0
+        for i, (inp, out) in enumerate(requests):
+            r = cache.lookup(np.asarray(inp, dtype=np.int32), float(i))
+            total_input += len(inp)
+            total_hit += r.hit_tokens
+            cache.admit(np.asarray(inp + out, dtype=np.int32), float(i) + 0.5,
+                        handle=r.handle)
+        assert cache.stats.input_tokens == total_input
+        assert cache.stats.hit_tokens == total_hit
+        assert cache.stats.lookups == len(requests)

@@ -1,0 +1,87 @@
+"""Tests for the shared cache interfaces and counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import AdmitResult, LookupResult, as_token_array
+from repro.core.stats import CacheStats
+
+
+class TestAsTokenArray:
+    def test_list_coerced(self):
+        out = as_token_array([1, 2, 3])
+        assert out.dtype == np.int32
+        np.testing.assert_array_equal(out, [1, 2, 3])
+
+    def test_int64_downcast(self):
+        out = as_token_array(np.asarray([5, 6], dtype=np.int64))
+        assert out.dtype == np.int32
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_token_array(np.zeros((2, 3)))
+
+    def test_empty_allowed(self):
+        assert len(as_token_array([])) == 0
+
+
+class TestLookupResult:
+    def test_hit_rate(self):
+        result = LookupResult(hit_tokens=25, input_tokens=100)
+        assert result.hit_rate == 0.25
+        assert result.is_hit
+
+    def test_zero_input_safe(self):
+        assert LookupResult(hit_tokens=0, input_tokens=0).hit_rate == 0.0
+
+    def test_miss(self):
+        assert not LookupResult(hit_tokens=0, input_tokens=10).is_hit
+
+    def test_defaults(self):
+        result = LookupResult(hit_tokens=0, input_tokens=5)
+        assert result.checkpoint_positions == []
+        assert result.state_payload is None
+
+
+class TestAdmitResult:
+    def test_defaults(self):
+        result = AdmitResult()
+        assert not result.rejected
+        assert result.admitted_bytes == 0
+
+
+class TestCacheStats:
+    def test_lookup_recording(self):
+        stats = CacheStats()
+        stats.record_lookup(0, 100)
+        stats.record_lookup(50, 100)
+        assert stats.lookups == 2 and stats.hits == 1
+        assert stats.token_hit_rate == pytest.approx(0.25)
+        assert stats.request_hit_rate == pytest.approx(0.5)
+
+    def test_idle_rates_are_zero(self):
+        stats = CacheStats()
+        assert stats.token_hit_rate == 0.0
+        assert stats.request_hit_rate == 0.0
+
+    def test_admission_recording(self):
+        stats = CacheStats()
+        stats.record_admission(1000)
+        stats.record_admission(0, rejected=True)
+        assert stats.admissions == 1
+        assert stats.admitted_bytes == 1000
+        assert stats.rejected_admissions == 1
+
+    def test_eviction_recording(self):
+        stats = CacheStats()
+        stats.record_eviction(512)
+        stats.record_eviction(256, entries=3)
+        assert stats.evictions == 4
+        assert stats.evicted_bytes == 768
+
+    def test_snapshot_roundtrip(self):
+        stats = CacheStats()
+        stats.record_lookup(10, 20)
+        snap = stats.snapshot()
+        assert snap["hit_tokens"] == 10
+        assert snap["token_hit_rate"] == pytest.approx(0.5)

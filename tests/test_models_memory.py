@@ -1,0 +1,94 @@
+"""Tests for state-size formulas, anchored to the paper's reported numbers."""
+
+import pytest
+
+from repro.models.memory import (
+    block_entry_bytes,
+    conv_state_bytes,
+    kv_bytes,
+    kv_bytes_per_token,
+    model_recurrent_bytes,
+    node_state_bytes,
+    recurrent_state_bytes,
+    sequence_cache_footprint,
+    ssm_state_bytes,
+)
+from repro.models.presets import hybrid_7b, transformer_7b
+
+
+class TestPerLayerSizes:
+    def test_ssm_state_is_2DN(self, hybrid):
+        # D * N * 2 bytes in FP16 (Appendix A).
+        assert ssm_state_bytes(hybrid) == hybrid.d_model * hybrid.d_state * 2
+
+    def test_paper_1mb_ssm_state(self, hybrid):
+        assert ssm_state_bytes(hybrid) == 1_048_576  # exactly 1 MiB at D=4096, N=128
+
+    def test_conv_state_fraction_about_6_percent(self, hybrid):
+        """The paper reports conv states are ~6.1% of the total state size."""
+        fraction = conv_state_bytes(hybrid) / recurrent_state_bytes(hybrid)
+        assert 0.05 < fraction < 0.07
+
+    def test_kv_per_token_is_4D_per_layer(self, hybrid):
+        per_layer = kv_bytes_per_token(hybrid) / hybrid.n_attention
+        assert per_layer == 4 * hybrid.d_model  # 2 (K,V) * D * 2 bytes
+
+    def test_ssm_state_vs_single_token_kv_ratio(self, hybrid):
+        """Property 3: SSM states are orders of magnitude larger than one
+        token's KVs — N/2 = 64x for the 7B hybrid (Table 1 caption)."""
+        per_layer_kv = kv_bytes_per_token(hybrid) / hybrid.n_attention
+        ratio = ssm_state_bytes(hybrid) / per_layer_kv
+        assert ratio == pytest.approx(hybrid.d_state / 2)
+
+
+class TestAggregates:
+    def test_kv_bytes_linear(self, hybrid):
+        assert kv_bytes(hybrid, 200) == 2 * kv_bytes(hybrid, 100)
+
+    def test_kv_bytes_rejects_negative(self, hybrid):
+        with pytest.raises(ValueError):
+            kv_bytes(hybrid, -1)
+
+    def test_recurrent_bytes_zero_for_transformer(self, transformer):
+        assert model_recurrent_bytes(transformer) == 0
+
+    def test_node_state_bytes_composition(self, hybrid):
+        base = node_state_bytes(hybrid, 100, has_ssm_state=False)
+        with_state = node_state_bytes(hybrid, 100, has_ssm_state=True)
+        assert with_state - base == model_recurrent_bytes(hybrid)
+
+    def test_block_entry_has_per_block_checkpoint(self, hybrid):
+        entry = block_entry_bytes(hybrid, 32)
+        assert entry == kv_bytes(hybrid, 32) + model_recurrent_bytes(hybrid)
+
+    def test_block_entry_rejects_bad_block(self, hybrid):
+        with pytest.raises(ValueError):
+            block_entry_bytes(hybrid, 0)
+
+
+class TestPaperAnchors:
+    def test_17_4_gb_at_10k_block16(self, hybrid):
+        """Section 3: a single 10K-token sequence of the 7B hybrid consumes
+        17.4 GB with block size 16."""
+        footprint = sequence_cache_footprint(hybrid, 10_000, 16)
+        assert footprint / 1e9 == pytest.approx(17.4, abs=0.1)
+
+    def test_3_3x_larger_than_transformer(self, hybrid, transformer):
+        """Section 3: that footprint is 3.3x a same-size Transformer's."""
+        h = sequence_cache_footprint(hybrid, 10_000, 16)
+        t = sequence_cache_footprint(transformer, 10_000, 16)
+        assert h / t == pytest.approx(3.3, abs=0.1)
+
+    def test_ssm_state_4x_block_kvs_at_block16(self, hybrid):
+        """Section 3: with block size 16 the per-layer SSM state is 4x the
+        per-layer KVs in a token block (d_state / (2 * block_size))."""
+        per_layer_kv_block = 16 * 4 * hybrid.d_model
+        assert ssm_state_bytes(hybrid) / per_layer_kv_block == pytest.approx(4.0)
+
+    def test_footprint_monotone_in_length_and_granularity(self, hybrid):
+        assert sequence_cache_footprint(hybrid, 5000, 16) < sequence_cache_footprint(hybrid, 10000, 16)
+        assert sequence_cache_footprint(hybrid, 10000, 32) < sequence_cache_footprint(hybrid, 10000, 16)
+
+    def test_footprint_rejects_negative_length(self, hybrid):
+        with pytest.raises(ValueError):
+            sequence_cache_footprint(hybrid, -5, 16)

@@ -1,0 +1,193 @@
+"""Tests for the NumPy layers: functional primitives, attention, SSM, states."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import AttentionLayer
+from repro.nn.functional import rmsnorm, silu, softmax, softplus
+from repro.nn.mlp import MLPLayer
+from repro.nn.sampling import greedy_token, sample_token
+from repro.nn.ssm import SSMLayer
+from repro.nn.states import KVState, ModelState, RecurrentState
+
+
+class TestFunctional:
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.normal(size=(4, 7))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_softmax_stable_for_large_inputs(self):
+        out = softmax(np.asarray([1e4, 1e4 + 1.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_silu_signs(self):
+        assert silu(np.asarray([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        assert abs(silu(np.asarray([-50.0]))[0]) < 1e-10
+
+    def test_softplus_no_overflow(self):
+        assert softplus(np.asarray([1000.0]))[0] == pytest.approx(1000.0)
+        assert softplus(np.asarray([-1000.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_rmsnorm_unit_scale(self, rng):
+        x = rng.normal(size=(3, 16)) * 100
+        out = rmsnorm(x, np.ones(16))
+        assert np.allclose(np.sqrt(np.mean(out**2, axis=-1)), 1.0, rtol=1e-3)
+
+
+class TestKVState:
+    def test_append_and_trim_roundtrip(self, rng):
+        state = KVState.empty(2, 4)
+        k = rng.normal(size=(5, 2, 4))
+        v = rng.normal(size=(5, 2, 4))
+        grown = state.appended(k, v)
+        assert grown.seq_len == 5
+        trimmed = grown.trimmed(3)
+        np.testing.assert_array_equal(trimmed.k, k[:3])
+
+    def test_trim_validation(self):
+        state = KVState.empty(2, 4)
+        with pytest.raises(ValueError):
+            state.trimmed(1)
+
+    def test_append_does_not_mutate_original(self, rng):
+        state = KVState.empty(2, 4)
+        grown = state.appended(rng.normal(size=(3, 2, 4)), rng.normal(size=(3, 2, 4)))
+        assert state.seq_len == 0 and grown.seq_len == 3
+
+
+class TestRecurrentState:
+    def test_zeros_shapes(self):
+        state = RecurrentState.zeros(d_inner=8, d_state=4, d_conv=3)
+        assert state.conv.shape == (2, 8)
+        assert state.ssm.shape == (8, 4)
+
+    def test_clone_is_deep(self):
+        state = RecurrentState.zeros(4, 2, 3)
+        copy = state.clone()
+        copy.ssm[0, 0] = 7.0
+        assert state.ssm[0, 0] == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RecurrentState(conv=np.zeros((2, 3)), ssm=np.zeros((4, 2)))
+
+
+class TestAttentionLayer:
+    def _layer(self):
+        return AttentionLayer(d_model=16, n_heads=4, rng=np.random.default_rng(0))
+
+    def test_incremental_equals_full(self, rng):
+        """Prefill in one shot == prefill then decode token by token."""
+        layer = self._layer()
+        x = rng.normal(size=(6, 16))
+        full, _ = layer.forward(x, layer.init_state())
+        state = layer.init_state()
+        outs = []
+        for t in range(6):
+            out, state = layer.forward(x[t : t + 1], state)
+            outs.append(out[0])
+        assert np.allclose(full, np.stack(outs), rtol=1e-10, atol=1e-12)
+
+    def test_causality(self, rng):
+        """Changing a future token must not affect earlier outputs."""
+        layer = self._layer()
+        x = rng.normal(size=(5, 16))
+        y1, _ = layer.forward(x, layer.init_state())
+        x2 = x.copy()
+        x2[4] += 1.0
+        y2, _ = layer.forward(x2, layer.init_state())
+        assert np.allclose(y1[:4], y2[:4])
+        assert not np.allclose(y1[4], y2[4])
+
+    def test_input_state_not_mutated(self, rng):
+        layer = self._layer()
+        x = rng.normal(size=(3, 16))
+        _, state = layer.forward(x, layer.init_state())
+        snapshot = state.k.copy()
+        layer.forward(rng.normal(size=(2, 16)), state)
+        np.testing.assert_array_equal(state.k, snapshot)
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            AttentionLayer(d_model=10, n_heads=4, rng=np.random.default_rng(0))
+
+
+class TestSSMLayer:
+    def _layer(self):
+        return SSMLayer(d_model=12, d_state=4, rng=np.random.default_rng(1))
+
+    def test_chunked_equals_full(self, rng):
+        """The in-place recurrence gives identical results chunked or not —
+        chunked state passing is exact at chunk boundaries."""
+        layer = self._layer()
+        x = rng.normal(size=(20, 12))
+        full, full_state = layer.forward(x, layer.init_state())
+        state = layer.init_state()
+        parts = []
+        for lo, hi in [(0, 7), (7, 13), (13, 20)]:
+            out, state = layer.forward(x[lo:hi], state)
+            parts.append(out)
+        assert np.allclose(full, np.concatenate(parts), rtol=1e-10, atol=1e-12)
+        assert np.allclose(full_state.ssm, state.ssm, rtol=1e-10, atol=1e-12)
+        assert np.allclose(full_state.conv, state.conv)
+
+    def test_state_depends_on_full_history(self, rng):
+        """Property 2: the state encodes all tokens — different prefixes give
+        different states even with identical suffixes."""
+        layer = self._layer()
+        suffix = rng.normal(size=(5, 12))
+        a = np.concatenate([rng.normal(size=(3, 12)), suffix])
+        b = np.concatenate([rng.normal(size=(3, 12)), suffix])
+        _, state_a = layer.forward(a, layer.init_state())
+        _, state_b = layer.forward(b, layer.init_state())
+        assert not np.allclose(state_a.ssm, state_b.ssm)
+
+    def test_state_size_constant(self, rng):
+        """Property 1: state size is independent of sequence length."""
+        layer = self._layer()
+        _, s_short = layer.forward(rng.normal(size=(2, 12)), layer.init_state())
+        _, s_long = layer.forward(rng.normal(size=(40, 12)), layer.init_state())
+        assert s_short.ssm.shape == s_long.ssm.shape
+        assert s_short.conv.shape == s_long.conv.shape
+
+    def test_input_state_not_mutated(self, rng):
+        layer = self._layer()
+        state = layer.init_state()
+        snapshot = state.ssm.copy()
+        layer.forward(rng.normal(size=(4, 12)), state)
+        np.testing.assert_array_equal(state.ssm, snapshot)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSMLayer(d_model=8, d_state=0, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            SSMLayer(d_model=8, d_state=4, rng=np.random.default_rng(0), d_conv=1)
+
+
+class TestMLP:
+    def test_shapes_and_statelessness(self, rng):
+        layer = MLPLayer(d_model=8, rng=np.random.default_rng(2))
+        x = rng.normal(size=(5, 8))
+        out = layer.forward(x)
+        assert out.shape == (5, 8)
+        # Token-wise independence (no state, no mixing across time).
+        out_row = layer.forward(x[2:3])
+        assert np.allclose(out[2], out_row[0])
+
+
+class TestSampling:
+    def test_greedy(self):
+        assert greedy_token(np.asarray([0.1, 3.0, 2.0])) == 1
+
+    def test_greedy_validation(self):
+        with pytest.raises(ValueError):
+            greedy_token(np.zeros((2, 2)))
+
+    def test_sample_temperature_zero_is_greedy(self, rng):
+        logits = np.asarray([0.0, 5.0, 1.0])
+        assert sample_token(logits, rng, temperature=0.0) == 1
+
+    def test_sample_in_range(self, rng):
+        logits = np.asarray([0.0, 1.0, 2.0])
+        for _ in range(20):
+            assert 0 <= sample_token(logits, rng) < 3

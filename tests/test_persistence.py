@@ -1,0 +1,138 @@
+"""Tests for cache snapshot/restore (warm restarts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import MarconiCache
+from repro.core.persistence import load_cache, load_tree, save_cache
+from repro.models.memory import node_state_bytes
+from repro.models.presets import transformer_7b
+from repro.workloads.lmsys import generate_lmsys_trace
+
+
+def toks(n, seed):
+    return np.random.default_rng(seed).integers(0, 32000, size=n, dtype=np.int32)
+
+
+def _warm_cache(hybrid, capacity=None, n=8):
+    cache = MarconiCache(
+        hybrid,
+        capacity or 50 * node_state_bytes(hybrid, 2000, True),
+        alpha=1.0,
+    )
+    shared = toks(200, 1)
+    for i in range(n):
+        seq = np.concatenate([shared, toks(100 + 13 * i, 100 + i)])
+        r = cache.lookup(seq, float(i))
+        cache.admit(np.concatenate([seq, toks(40, 200 + i)]), i + 0.5, handle=r.handle)
+    return cache
+
+
+class TestRoundtrip:
+    def test_structure_and_stats_preserved(self, hybrid, tmp_path):
+        cache = _warm_cache(hybrid)
+        path = tmp_path / "cache.npz"
+        save_cache(cache, path)
+        tree, meta = load_tree(path)
+        assert meta["model_name"] == hybrid.name
+        assert meta["n_nodes"] == cache.tree.n_nodes
+
+        original = {
+            n.path_tokens().tobytes(): (n.has_ssm_state, n.last_access, n.hit_count)
+            for n in cache.tree.iter_nodes()
+        }
+        restored = {
+            n.path_tokens().tobytes(): (n.has_ssm_state, n.last_access, n.hit_count)
+            for n in tree.iter_nodes()
+        }
+        assert restored == original
+
+    def test_restored_cache_serves_same_hits(self, hybrid, tmp_path):
+        cache = _warm_cache(hybrid)
+        path = tmp_path / "cache.npz"
+        save_cache(cache, path)
+        warm = load_cache(hybrid, cache.capacity_bytes, path, alpha=1.0)
+        assert warm.used_bytes == cache.used_bytes
+
+        query = np.concatenate([toks(200, 1), toks(113, 100), toks(40, 200), toks(5, 999)])
+        a = cache.lookup(query, 100.0)
+        b = warm.lookup(query, 100.0)
+        assert a.hit_tokens == b.hit_tokens > 0
+        cache.admit(np.concatenate([query, [1]]).astype(np.int32), 100.5, handle=a.handle)
+        warm.admit(np.concatenate([query, [1]]).astype(np.int32), 100.5, handle=b.handle)
+
+    def test_warm_restart_preserves_trace_hit_rate(self, hybrid, tmp_path):
+        """Splitting a trace across a save/load boundary loses nothing."""
+        trace = generate_lmsys_trace(n_sessions=10, seed=61)
+        requests = list(trace.iter_requests_nominal())
+        half = len(requests) // 2
+        capacity = 50 * node_state_bytes(hybrid, 3000, True)
+
+        unbroken = MarconiCache(hybrid, capacity, alpha=1.0)
+        for now, _, _, inp, full in requests:
+            r = unbroken.lookup(inp, now)
+            unbroken.admit(full, now, handle=r.handle)
+
+        first = MarconiCache(hybrid, capacity, alpha=1.0)
+        for now, _, _, inp, full in requests[:half]:
+            r = first.lookup(inp, now)
+            first.admit(full, now, handle=r.handle)
+        path = tmp_path / "restart.npz"
+        save_cache(first, path)
+        second = load_cache(hybrid, capacity, path, alpha=1.0)
+        hit_tokens = first.stats.hit_tokens
+        input_tokens = first.stats.input_tokens
+        for now, _, _, inp, full in requests[half:]:
+            r = second.lookup(inp, now)
+            second.admit(full, now, handle=r.handle)
+        combined = (hit_tokens + second.stats.hit_tokens) / (
+            input_tokens + second.stats.input_tokens
+        )
+        assert combined == pytest.approx(unbroken.stats.token_hit_rate)
+
+    def test_empty_cache_roundtrip(self, hybrid, tmp_path):
+        cache = MarconiCache(hybrid, int(1e9), alpha=0.0)
+        path = tmp_path / "empty.npz"
+        save_cache(cache, path)
+        warm = load_cache(hybrid, int(1e9), path)
+        assert warm.tree.n_nodes == 0
+        assert warm.used_bytes == 0
+
+    def test_pure_transformer_roundtrip(self, tmp_path):
+        model = transformer_7b()
+        cache = MarconiCache(model, int(1e12), alpha=0.0)
+        seq = toks(300, 71)
+        r = cache.lookup(seq, 0.0)
+        cache.admit(np.concatenate([seq, toks(20, 72)]), 0.5, handle=r.handle)
+        path = tmp_path / "t.npz"
+        save_cache(cache, path)
+        warm = load_cache(model, int(1e12), path)
+        assert warm.used_bytes == cache.used_bytes
+
+
+class TestGuards:
+    def test_refuses_inflight_requests(self, hybrid, tmp_path):
+        cache = MarconiCache(hybrid, int(1e12), alpha=0.0)
+        seq = toks(100, 81)
+        r = cache.lookup(seq, 0.0)
+        with pytest.raises(ValueError, match="in-flight"):
+            save_cache(cache, tmp_path / "x.npz")
+        cache.admit(np.concatenate([seq, [1]]).astype(np.int32), 0.5, handle=r.handle)
+        save_cache(cache, tmp_path / "x.npz")  # fine once closed
+
+    def test_model_mismatch_rejected(self, hybrid, tmp_path):
+        cache = _warm_cache(hybrid, n=2)
+        path = tmp_path / "m.npz"
+        save_cache(cache, path)
+        with pytest.raises(ValueError, match="model"):
+            load_cache(transformer_7b(), int(1e12), path)
+
+    def test_shrinking_load_evicts_to_fit(self, hybrid, tmp_path):
+        cache = _warm_cache(hybrid, n=8)
+        path = tmp_path / "s.npz"
+        save_cache(cache, path)
+        small = cache.used_bytes // 2
+        warm = load_cache(hybrid, small, path, alpha=0.0)
+        assert warm.used_bytes <= small
+        assert warm.used_bytes == warm.recompute_used_bytes()
+        warm.tree.check_integrity()
