@@ -13,8 +13,22 @@ pass or ``full`` for tighter statistics.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
+
+# Benchmark modules fast enough (a few seconds) to stay in the default
+# `pytest -x -q` lane; everything else here is marked `slow` and runs in the
+# dedicated CI benchmark lane (`pytest -m slow`).
+_FAST_MODULES = {"test_micro_core.py", "test_micro_eviction_index.py"}
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        path = Path(str(item.fspath))
+        if path.parent == _BENCH_DIR and path.name not in _FAST_MODULES:
+            item.add_marker(pytest.mark.slow)
 
 
 def bench_scale() -> str:

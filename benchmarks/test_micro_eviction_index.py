@@ -1,0 +1,174 @@
+"""Microbenchmark: incremental eviction index vs the seed full-tree rescan.
+
+Runs a sustained-pressure LMSys-style trace (the Figs. 7-11 regime) through
+the same cache configuration twice — once with the maintained eviction
+index, once in legacy full-rescan mode — and measures:
+
+* node visits per eviction (the seed's per-victim ``iter_nodes()`` DFS vs
+  the index's incremental candidacy evaluations),
+* wall-clock and evictions/sec,
+* decision identity (byte-identical :class:`CacheStats`).
+
+Results are written to ``BENCH_eviction.json`` at the repo root so future
+PRs have a perf trajectory to compare against.  This file is deliberately
+fast (seconds, not minutes) and stays in the default test lane as the
+regression guard for the ≥5× node-visit reduction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import MarconiCache
+from repro.engine.server import simulate_trace
+from repro.models.presets import hybrid_7b
+from repro.workloads.lmsys import generate_lmsys_trace
+from repro.workloads.sessions import WorkloadParams
+
+CAPACITY_BYTES = int(2e9)
+POLICIES = ("flop_aware", "lru")
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_eviction.json"
+
+
+def _make_trace(n_sessions: int):
+    return generate_lmsys_trace(
+        WorkloadParams(
+            n_sessions=n_sessions, session_rate=2.0, mean_think_s=3.0, seed=17
+        )
+    )
+
+
+def _run(policy: str, use_index: bool, trace):
+    cache = MarconiCache(
+        hybrid_7b(),
+        CAPACITY_BYTES,
+        eviction=policy,
+        alpha=1.0,
+        use_eviction_index=use_index,
+    )
+    start = time.perf_counter()
+    result = simulate_trace(hybrid_7b(), cache, trace, policy_name=policy)
+    wall = time.perf_counter() - start
+    evictions = cache.stats.evictions
+    return {
+        "policy": policy,
+        "mode": "index" if use_index else "full_rescan",
+        "wall_seconds": wall,
+        "evictions": evictions,
+        "evictions_per_sec": evictions / wall if wall > 0 else float("inf"),
+        "node_visits": cache.eviction_node_visits,
+        "visits_per_eviction": cache.eviction_node_visits / max(1, evictions),
+        "token_hit_rate": result.token_hit_rate,
+        "final_tree_nodes": cache.tree.n_nodes,
+        "stats": cache.stats.snapshot(),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    """All (policy, mode, scale) runs, computed once per test session."""
+    runs = {}
+    for n_sessions in (60, 150):
+        trace = _make_trace(n_sessions)
+        for policy in POLICIES:
+            for use_index in (True, False):
+                runs[(policy, use_index, n_sessions)] = _run(policy, use_index, trace)
+    return runs
+
+
+class TestEvictionIndexMicrobench:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_decisions_identical_to_seed_scan(self, measurements, policy):
+        """Index mode must reproduce the seed's victims exactly: same hit
+        rates, byte-identical cache stats."""
+        for n_sessions in (60, 150):
+            indexed = measurements[(policy, True, n_sessions)]
+            legacy = measurements[(policy, False, n_sessions)]
+            assert indexed["stats"] == legacy["stats"]
+            assert indexed["token_hit_rate"] == legacy["token_hit_rate"]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_node_visit_reduction_at_least_5x(self, measurements, policy):
+        """The acceptance bar: ≥5× fewer node visits than the full-rescan
+        seed implementation on a sustained-pressure trace."""
+        for n_sessions in (60, 150):
+            indexed = measurements[(policy, True, n_sessions)]
+            legacy = measurements[(policy, False, n_sessions)]
+            assert indexed["evictions"] > 100, "trace must sustain pressure"
+            ratio = legacy["node_visits"] / max(1, indexed["node_visits"])
+            assert ratio >= 5.0, (
+                f"{policy} @ {n_sessions} sessions: only {ratio:.1f}x fewer visits"
+            )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_amortized_visits_sublinear_in_tree_size(self, measurements, policy):
+        """Legacy visits/eviction scale with the tree; the index's stay
+        near-flat as the workload (and thus the tree) grows."""
+        small_idx = measurements[(policy, True, 60)]
+        large_idx = measurements[(policy, True, 150)]
+        small_legacy = measurements[(policy, False, 60)]
+        large_legacy = measurements[(policy, False, 150)]
+        legacy_growth = (
+            large_legacy["visits_per_eviction"] / small_legacy["visits_per_eviction"]
+        )
+        index_growth = (
+            large_idx["visits_per_eviction"] / small_idx["visits_per_eviction"]
+        )
+        assert index_growth < legacy_growth
+        # And in absolute terms the index never approaches full-scan cost.
+        assert (
+            large_idx["visits_per_eviction"]
+            < large_legacy["visits_per_eviction"] / 5.0
+        )
+
+    def test_emit_bench_json(self, measurements):
+        """Persist the perf snapshot for cross-PR trajectory tracking."""
+        large = {
+            (policy, use_index): measurements[(policy, use_index, 150)]
+            for policy in POLICIES
+            for use_index in (True, False)
+        }
+        payload = {
+            "benchmark": "eviction_index_vs_full_rescan",
+            "capacity_bytes": CAPACITY_BYTES,
+            "trace": {"kind": "lmsys", "n_sessions": 150, "seed": 17},
+            "runs": [
+                {k: v for k, v in run.items() if k != "stats"}
+                for run in measurements.values()
+            ],
+            "summary": {
+                policy: {
+                    "node_visit_reduction_x": (
+                        large[(policy, False)]["node_visits"]
+                        / max(1, large[(policy, True)]["node_visits"])
+                    ),
+                    "visits_per_eviction_index": large[(policy, True)][
+                        "visits_per_eviction"
+                    ],
+                    "visits_per_eviction_full_rescan": large[(policy, False)][
+                        "visits_per_eviction"
+                    ],
+                    "wall_seconds_index": large[(policy, True)]["wall_seconds"],
+                    "wall_seconds_full_rescan": large[(policy, False)]["wall_seconds"],
+                    "decisions_identical": (
+                        large[(policy, True)]["stats"]
+                        == large[(policy, False)]["stats"]
+                    ),
+                }
+                for policy in POLICIES
+            },
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        assert BENCH_PATH.exists()
+        print(f"\nwrote {BENCH_PATH}")
+        for policy, summary in payload["summary"].items():
+            print(
+                f"  {policy}: {summary['node_visit_reduction_x']:.1f}x fewer node "
+                f"visits ({summary['visits_per_eviction_index']:.1f} vs "
+                f"{summary['visits_per_eviction_full_rescan']:.1f} per eviction)"
+            )

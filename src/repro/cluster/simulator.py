@@ -10,15 +10,14 @@ can migrate if the router decides so).
 
 from __future__ import annotations
 
-import enum
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.baselines.base import CacheProtocol
+from repro.engine.events import EventKind, EventQueue
 from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
 from repro.engine.results import EngineResult, RequestRecord
@@ -27,22 +26,6 @@ from repro.metrics.fairness import coefficient_of_variation, jain_fairness
 from repro.models.config import ModelConfig
 from repro.models.flops import model_prefill_flops
 from repro.workloads.trace import Trace, TraceSession
-
-
-class _EventKind(enum.IntEnum):
-    # Completions before prefill-done before arrivals at equal timestamps,
-    # mirroring the single-replica engine's visibility guarantees.
-    PREFILL_DONE = 0
-    REQUEST_COMPLETE = 1
-    REQUEST_ARRIVAL = 2
-
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    kind: int
-    seq: int
-    payload: Any = field(compare=False)
 
 
 @dataclass
@@ -133,7 +116,8 @@ class ClusterSimulator:
     def run(self, trace: Trace) -> ClusterResult:
         """Simulate the full trace across all replicas under the router."""
         n = len(self.caches)
-        heap: list[_Event] = []
+        events = EventQueue(self._seq)
+        push = events.push
         queues: list[list[EngineRequest]] = [[] for _ in range(n)]
         busy = [False] * n
         busy_seconds = [0.0] * n
@@ -141,9 +125,6 @@ class ClusterSimulator:
         results = [
             EngineResult(policy=f"{self.router.name}/replica{i}") for i in range(n)
         ]
-
-        def push(time: float, kind: _EventKind, payload: Any) -> None:
-            heapq.heappush(heap, _Event(time, int(kind), next(self._seq), payload))
 
         def loads() -> list[int]:
             return [len(queues[i]) + (1 if busy[i] else 0) for i in range(n)]
@@ -163,7 +144,7 @@ class ClusterSimulator:
             busy[replica] = True
             push(
                 now + prefill_seconds,
-                _EventKind.PREFILL_DONE,
+                EventKind.PREFILL_DONE,
                 _InFlight(
                     request=request,
                     replica=replica,
@@ -191,17 +172,17 @@ class ClusterSimulator:
         for session in trace.sessions:
             push(
                 session.arrival_time,
-                _EventKind.REQUEST_ARRIVAL,
+                EventKind.REQUEST_ARRIVAL,
                 self._make_request(session, 0, session.arrival_time),
             )
 
         sessions_by_id = {s.session_id: s for s in trace.sessions}
-        while heap:
-            event = heapq.heappop(heap)
+        while events:
+            event = events.pop()
             now = event.time
-            if event.kind == _EventKind.REQUEST_ARRIVAL:
+            if event.kind == EventKind.REQUEST_ARRIVAL:
                 admit_arrival(event.payload, now)
-            elif event.kind == _EventKind.PREFILL_DONE:
+            elif event.kind == EventKind.PREFILL_DONE:
                 flight: _InFlight = event.payload
                 request = flight.request
                 results[flight.replica].records.append(
@@ -223,7 +204,7 @@ class ClusterSimulator:
                 busy[flight.replica] = False
                 push(
                     now + self.latency.decode_seconds(request.output_len),
-                    _EventKind.REQUEST_COMPLETE,
+                    EventKind.REQUEST_COMPLETE,
                     flight,
                 )
                 start_next(flight.replica, now)
@@ -239,7 +220,7 @@ class ClusterSimulator:
                     arrival = now + session.think_times[next_round]
                     push(
                         arrival,
-                        _EventKind.REQUEST_ARRIVAL,
+                        EventKind.REQUEST_ARRIVAL,
                         self._make_request(session, next_round, arrival),
                     )
 

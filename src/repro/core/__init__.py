@@ -11,8 +11,9 @@ from repro.core.interfaces import (
     LookupResult,
     PrefixCache,
 )
+from repro.core.eviction_index import EvictionIndex
 from repro.core.node import RadixNode
-from repro.core.radix_tree import InsertOutcome, MatchResult, RadixTree
+from repro.core.radix_tree import InsertOutcome, MatchResult, RadixTree, TreeObserver
 from repro.core.admission import SpeculativeInsertReport, speculative_insert
 from repro.core.eviction import (
     EvictionCandidate,
@@ -37,6 +38,8 @@ __all__ = [
     "PrefixCache",
     "RadixNode",
     "RadixTree",
+    "TreeObserver",
+    "EvictionIndex",
     "MatchResult",
     "InsertOutcome",
     "SpeculativeInsertReport",

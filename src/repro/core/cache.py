@@ -35,6 +35,7 @@ from repro.core.eviction import (
     FlopAwareEviction,
     make_eviction_policy,
 )
+from repro.core.eviction_index import EvictionIndex
 from repro.core.interfaces import AdmitResult, LookupResult, PrefixCache, as_token_array
 from repro.core.node import RadixNode
 from repro.core.radix_tree import RadixTree
@@ -70,6 +71,8 @@ class MarconiCacheConfig:
     alpha: Optional[float] = None  # None => bootstrap auto-tuning
     tuner: AlphaTunerConfig = field(default_factory=AlphaTunerConfig)
     store_states: bool = False
+    use_eviction_index: bool = True
+    batch_evictions: int = 1
 
 
 class MarconiCache(PrefixCache):
@@ -96,6 +99,18 @@ class MarconiCache(PrefixCache):
     store_states:
         When True, checkpoint nodes carry caller-provided model-state
         payloads (used by the executable-model serving layer).
+    use_eviction_index:
+        When True (the default), eviction candidates come from an
+        incrementally maintained :class:`~repro.core.eviction_index
+        .EvictionIndex`; when False, every eviction falls back to the seed
+        behaviour of a full-tree rescan (kept as the reference
+        implementation and for the microbenchmark's baseline).  Both modes
+        make identical eviction decisions.
+    batch_evictions:
+        FLOP-aware batch size K: victims freed per rank-normalization pass
+        within one eviction episode.  ``1`` (the default) renormalizes
+        before every victim — the paper's exact semantics; larger values
+        amortize the O(c·log c) normalization under sustained pressure.
     """
 
     def __init__(
@@ -108,9 +123,13 @@ class MarconiCache(PrefixCache):
         tuner_config: Optional[AlphaTunerConfig] = None,
         store_states: bool = False,
         efficiency_mode: str = "prefix_per_freed",
+        use_eviction_index: bool = True,
+        batch_evictions: int = 1,
     ) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        if batch_evictions < 1:
+            raise ValueError(f"batch_evictions must be >= 1, got {batch_evictions}")
         self.model = model
         self._capacity = int(capacity_bytes)
         self._eviction_name = eviction
@@ -118,20 +137,71 @@ class MarconiCache(PrefixCache):
         self.store_states = store_states
         self.efficiency_mode = efficiency_mode
         self._tuner_config = tuner_config or AlphaTunerConfig()
+        self._use_index = use_eviction_index
+        self._batch_evictions = batch_evictions
 
-        self.tree = RadixTree()
+        self._index: Optional[EvictionIndex] = None
+        self._scan_node_visits = 0
         self._used = 0
         self._stats = CacheStats()
         self.tuner: Optional[AlphaTuner] = None
         self.policy: EvictionPolicy = self._build_policy()
+        self.tree = RadixTree()  # property setter attaches the index
 
     def _build_policy(self) -> EvictionPolicy:
         if self._eviction_name == "flop_aware" and self._fixed_alpha is None:
             # Auto-tuning mode: behave as LRU (alpha = 0) until tuned.
             self.tuner = AlphaTuner(self._tuner_config)
-            return FlopAwareEviction(alpha=0.0)
-        self.tuner = None
-        return make_eviction_policy(self._eviction_name, self._fixed_alpha)
+            policy = FlopAwareEviction(alpha=0.0)
+        else:
+            self.tuner = None
+            policy = make_eviction_policy(self._eviction_name, self._fixed_alpha)
+        if isinstance(policy, FlopAwareEviction):
+            policy.batch_size = self._batch_evictions
+        return policy
+
+    # ------------------------------------------------------------------
+    # Tree attachment (keeps the eviction index observing the live tree)
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> RadixTree:
+        return self._tree
+
+    @tree.setter
+    def tree(self, tree: RadixTree) -> None:
+        """Adopt ``tree``, rebuilding the eviction index against it.
+
+        Assigning a tree (reset, persistence reload, the tuner's replay
+        snapshot) re-seeds the index with its one-and-only full scan and
+        re-binds the policy's selector state.
+        """
+        if self._index is not None:
+            self._tree.remove_observer(self._index)
+        self._tree = tree
+        if self._use_index:
+            self._index = EvictionIndex(
+                tree, self._freeable_bytes, self._candidate_efficiency
+            )
+            self.policy.bind_index(self._index)
+        else:
+            self._index = None
+
+    @property
+    def eviction_index(self) -> Optional[EvictionIndex]:
+        """The maintained candidate index (None in legacy full-scan mode)."""
+        return self._index
+
+    @property
+    def eviction_node_visits(self) -> int:
+        """Nodes (re-)evaluated for eviction candidacy so far.
+
+        In index mode this counts incremental candidacy evaluations; in
+        legacy mode it counts nodes walked by the per-eviction full scans.
+        The microbenchmark compares the two under identical workloads.
+        """
+        if self._index is not None:
+            return self._index.node_visits
+        return self._scan_node_visits
 
     # ------------------------------------------------------------------
     # PrefixCache surface
@@ -156,10 +226,11 @@ class MarconiCache(PrefixCache):
         return 0.0
 
     def reset(self) -> None:
-        self.tree = RadixTree()
         self._used = 0
         self._stats = CacheStats()
+        self._scan_node_visits = 0
         self.policy = self._build_policy()
+        self.tree = RadixTree()  # after the policy so the index binds to it
 
     # ------------------------------------------------------------------
     # Lookup (prefill start)
@@ -183,7 +254,7 @@ class MarconiCache(PrefixCache):
                 reused_bytes = kv_bytes(self.model, hit_tokens) + model_recurrent_bytes(
                     self.model
                 )
-                hit_node.touch(now)
+                self.tree.touch(hit_node, now)
                 self.policy.notify_access(hit_node, now)
                 payload = hit_node.state_payload
         else:
@@ -192,7 +263,7 @@ class MarconiCache(PrefixCache):
             if hit_tokens > 0:
                 reused_bytes = kv_bytes(self.model, hit_tokens)
                 if match.path:
-                    match.path[-1].touch(now)
+                    self.tree.touch(match.path[-1], now)
                     self.policy.notify_access(match.path[-1], now)
 
         self._stats.record_lookup(hit_tokens, len(tokens))
@@ -201,7 +272,7 @@ class MarconiCache(PrefixCache):
         # Commit the input path (every system admits all KVs of the sequence;
         # Marconi is judicious only about recurrent checkpoints).
         outcome = self.tree.insert(tokens, now)
-        outcome.end_node.last_access = now
+        self.tree.refresh_access(outcome.end_node, now)
         self.tree.pin_path(outcome.end_node)
         handle = _RequestHandle(
             input_len=len(tokens),
@@ -222,8 +293,7 @@ class MarconiCache(PrefixCache):
             self._used += kv_cost + branch_cost
             if want_branch_checkpoint:
                 assert branch is not None
-                branch.has_ssm_state = True
-                branch.last_access = now
+                self.tree.set_checkpoint(branch, now)
                 handle.branch_node = branch
         elif self._ensure_free(kv_cost):
             # Cache pressure: keep the KVs, drop the branch checkpoint.
@@ -338,8 +408,8 @@ class MarconiCache(PrefixCache):
             self._used += kv_cost + leaf_cost
             admitted = kv_cost + leaf_cost
             if want_leaf_checkpoint:
-                end.has_ssm_state = True
-            end.last_access = now
+                self.tree.set_checkpoint(end)
+            self.tree.refresh_access(end, now)
             if self.store_states and self.model.has_recurrent_layers:
                 end.state_payload = state_payload
             self.tree.unpin_path(end)
@@ -347,7 +417,7 @@ class MarconiCache(PrefixCache):
             # The checkpoint doesn't fit but the KVs do: admit KV-only.
             self._used += kv_cost
             admitted = kv_cost
-            end.last_access = now
+            self.tree.refresh_access(end, now)
             self.tree.unpin_path(end)
         else:
             # Keep the longest affordable KV prefix of the extension (block
@@ -396,41 +466,61 @@ class MarconiCache(PrefixCache):
             return model_recurrent_bytes(self.model)
         return 0
 
-    def _collect_candidates(self) -> list[EvictionCandidate]:
+    def _candidate_efficiency(self, node: RadixNode, freeable: int) -> float:
+        return node_flop_efficiency(
+            self.model,
+            node.seq_len,
+            node.parent_seq_len,
+            freeable,
+            mode=self.efficiency_mode,
+        )
+
+    def _collect_candidates(self, count_visits: bool = False) -> list[EvictionCandidate]:
+        """Full-tree candidate rebuild (the legacy path and the reference
+        implementation the index's property tests compare against)."""
         candidates = []
         for node in self.tree.iter_nodes():
+            if count_visits:
+                self._scan_node_visits += 1
             if node.is_pinned or node.n_children > 1:
                 continue
             freeable = self._freeable_bytes(node)
             if freeable <= 0:
                 continue
-            efficiency = node_flop_efficiency(
-                self.model,
-                node.seq_len,
-                node.parent_seq_len,
-                freeable,
-                mode=self.efficiency_mode,
-            )
             candidates.append(
                 EvictionCandidate(
                     node=node,
                     freeable_bytes=freeable,
-                    flop_efficiency=efficiency,
+                    flop_efficiency=self._candidate_efficiency(node, freeable),
                     last_access=node.last_access,
                     is_leaf=node.is_leaf,
                 )
             )
         return candidates
 
+    def _select_victim(self) -> Optional[EvictionCandidate]:
+        """Next victim under the configured selection mode; None when the
+        evictable set is empty."""
+        if self._index is not None:
+            if len(self._index) == 0:
+                return None
+            return self.policy.select_from_index(self._index)
+        candidates = self._collect_candidates(count_visits=True)
+        if not candidates:
+            return None
+        return self.policy.select_victim(candidates)
+
     def _ensure_free(self, needed_bytes: int) -> bool:
         """Evict until ``needed_bytes`` fit; False if that proves impossible."""
         if needed_bytes > self._capacity:
             return False
+        if self._capacity - self._used >= needed_bytes:
+            return True
+        self.policy.begin_eviction_pass()
         while self._capacity - self._used < needed_bytes:
-            candidates = self._collect_candidates()
-            if not candidates:
+            victim = self._select_victim()
+            if victim is None:
                 return False
-            victim = self.policy.select_victim(candidates)
             self._apply_eviction(victim)
             self.policy.notify_eviction(victim)
             if self.tuner is not None:
@@ -443,8 +533,7 @@ class MarconiCache(PrefixCache):
         if node.is_leaf:
             self.tree.remove_leaf(node)
         else:
-            node.has_ssm_state = False
-            node.state_payload = None
+            self.tree.clear_checkpoint(node)
             self.tree.merge_into_child(node)
         self._used -= freed
         self._stats.record_eviction(freed)
@@ -464,7 +553,13 @@ class MarconiCache(PrefixCache):
         return self.tree.clone()
 
     def make_replay_cache(self, alpha: float, snapshot: RadixTree) -> "MarconiCache":
-        """A throwaway cache seeded from ``snapshot`` with a fixed alpha."""
+        """A throwaway cache seeded from ``snapshot`` with a fixed alpha.
+
+        The replica inherits the eviction-index mode (and FLOP-aware batch
+        size), so the tuner's grid-search replay pays incremental — not
+        full-rescan — eviction costs per alpha; assigning the cloned tree
+        re-seeds the replica's index in one scan.
+        """
         replica = MarconiCache(
             self.model,
             self._capacity,
@@ -472,6 +567,8 @@ class MarconiCache(PrefixCache):
             alpha=alpha,
             store_states=False,
             efficiency_mode=self.efficiency_mode,
+            use_eviction_index=self._use_index,
+            batch_evictions=self._batch_evictions,
         )
         replica.tree = snapshot.clone()
         replica._used = sum(

@@ -17,37 +17,74 @@ states), plus LFU, LRU-K, and a seeded random floor for ablations.
 from __future__ import annotations
 
 import abc
+import heapq
+import itertools
 import random
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.node import RadixNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.eviction_index import EvictionIndex
 
 
 @dataclass
 class EvictionCandidate:
-    """One evictable node with everything the scoring policies need."""
+    """One evictable node with everything the scoring policies need.
+
+    ``sort_key`` is precomputed at construction: the ``min()`` scans and the
+    heap selectors compare it on every step, and candidates are rebuilt by
+    the eviction index whenever their inputs change, so the key can never go
+    stale.
+    """
 
     node: RadixNode
     freeable_bytes: int
     flop_efficiency: float
     last_access: float
     is_leaf: bool
+    sort_key: tuple[float, int] = field(init=False, repr=False, compare=False)
 
-    @property
-    def sort_key(self) -> tuple[float, int]:
-        """Deterministic tie-break: older first, then smaller node id."""
-        return (self.last_access, self.node.node_id)
+    def __post_init__(self) -> None:
+        # Deterministic tie-break: older first, then smaller node id.
+        self.sort_key = (self.last_access, self.node.node_id)
 
 
 class EvictionPolicy(abc.ABC):
-    """Chooses which candidate to evict next."""
+    """Chooses which candidate to evict next.
+
+    Two selection surfaces exist:
+
+    * :meth:`select_victim` — score an explicit candidate list (the seed
+      API; still used by tests and the legacy full-scan mode).
+    * :meth:`select_from_index` — select against a maintained
+      :class:`~repro.core.eviction_index.EvictionIndex`.  The base
+      implementation scores the index's cached candidate snapshot;
+      heap-backed subclasses keep a lazy min-heap synced to the index and
+      select in amortized O(log n) without touching the candidate set.
+    """
 
     name: str = "abstract"
 
     @abc.abstractmethod
     def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
         """Pick the next victim from a non-empty candidate list."""
+
+    def bind_index(self, index: "EvictionIndex") -> None:
+        """Attach to ``index``; subscribes heap selectors to its change feed."""
+        index.on_candidate_changed = self.on_candidate_changed
+
+    def on_candidate_changed(self, candidate: EvictionCandidate) -> None:
+        """Called by the bound index when a candidate is added or rebuilt."""
+
+    def begin_eviction_pass(self) -> None:
+        """Called at the start of one eviction episode (one ``_ensure_free``)."""
+
+    def select_from_index(self, index: "EvictionIndex") -> EvictionCandidate:
+        """Pick the next victim using the maintained candidate index."""
+        return self.select_victim(index.candidates())
 
     def notify_eviction(self, victim: EvictionCandidate) -> None:
         """Hook called after a victim is actually evicted (GDSF's clock)."""
@@ -59,10 +96,64 @@ class EvictionPolicy(abc.ABC):
         """Clear any internal state."""
 
 
-class LRUEviction(EvictionPolicy):
+class _LazyHeapPolicy(EvictionPolicy):
+    """Heap-backed selection with stale-entry skipping.
+
+    The heap holds ``(key, seq, candidate)`` entries pushed whenever the
+    bound index adds or rebuilds a candidate.  An entry is stale when the
+    index no longer holds that exact candidate object (the index rebuilds
+    candidates on any relevant change, so object identity doubles as a
+    version check) or when its key has drifted (LRU-K history, LFU/GDSF hit
+    counts — all of which only ever *increase* a key, so re-pushing at the
+    corrected key preserves min-heap correctness).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple, int, EvictionCandidate]] = []
+        self._seq = itertools.count()
+
+    @abc.abstractmethod
+    def _heap_key(self, candidate: EvictionCandidate) -> tuple:
+        """Current selection key; must be non-decreasing over a candidate's
+        life (candidates are rebuilt — not mutated — on any other change)."""
+
+    def bind_index(self, index: "EvictionIndex") -> None:
+        super().bind_index(index)
+        self._heap = []
+        for candidate in index.candidates():
+            self.on_candidate_changed(candidate)
+
+    def on_candidate_changed(self, candidate: EvictionCandidate) -> None:
+        heapq.heappush(
+            self._heap, (self._heap_key(candidate), next(self._seq), candidate)
+        )
+
+    def select_from_index(self, index: "EvictionIndex") -> EvictionCandidate:
+        heap = self._heap
+        while heap:
+            key, _, candidate = heap[0]
+            if index.get(candidate.node.node_id) is not candidate:
+                heapq.heappop(heap)  # superseded or evicted: discard
+                continue
+            fresh = self._heap_key(candidate)
+            if fresh != key:
+                heapq.heappop(heap)  # key drifted upward: re-rank
+                heapq.heappush(heap, (fresh, next(self._seq), candidate))
+                continue
+            return candidate
+        raise ValueError("no eviction candidates")
+
+    def reset(self) -> None:
+        self._heap = []
+
+
+class LRUEviction(_LazyHeapPolicy):
     """Plain least-recently-used eviction — the SGLang+ baseline (policy V1)."""
 
     name = "lru"
+
+    def _heap_key(self, candidate: EvictionCandidate) -> tuple:
+        return candidate.sort_key
 
     def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
         if not candidates:
@@ -79,17 +170,38 @@ class FlopAwareEviction(EvictionPolicy):
     ``alpha = 0`` degenerates to LRU; a large ``alpha`` ranks purely by
     compute saved per byte.  ``alpha`` is mutable so the bootstrap tuner can
     adopt the grid-search winner in place.
+
+    Normalization is relative to the *whole* candidate set, so this policy
+    cannot be heap-backed without changing semantics.  Instead,
+    :meth:`select_from_index` scores the index's maintained candidate
+    snapshot and caches the resulting eviction order until the index's dirty
+    epoch advances.  ``batch_size`` (K) additionally amortizes the
+    normalization: within one eviction pass, up to K victims are taken from
+    a single scored order, each re-validated against the index before use.
+    ``batch_size = 1`` (the default) renormalizes before every victim and is
+    decision-identical to the seed full-rescan implementation.
     """
 
     name = "flop_aware"
 
-    def __init__(self, alpha: float = 1.0, normalization: str = "rank") -> None:
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        normalization: str = "rank",
+        batch_size: int = 1,
+    ) -> None:
         if alpha < 0:
             raise ValueError(f"alpha must be non-negative, got {alpha}")
         if normalization not in ("rank", "minmax"):
             raise ValueError(f"normalization must be 'rank' or 'minmax', got {normalization!r}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.alpha = alpha
         self.normalization = normalization
+        self.batch_size = batch_size
+        self._order: deque[EvictionCandidate] = deque()
+        self._order_epoch: Optional[int] = None
+        self._order_budget = 0
 
     def _normalized(self, values: list[float]) -> list[float]:
         if self.normalization == "rank":
@@ -108,8 +220,58 @@ class FlopAwareEviction(EvictionPolicy):
         scored = zip(self.scores(candidates), (c.sort_key for c in candidates), candidates)
         return min(scored, key=lambda item: (item[0], item[1]))[2]
 
+    def begin_eviction_pass(self) -> None:
+        # Never carry a scored order across pressure episodes: requests may
+        # have touched/admitted entries in between.
+        self._order.clear()
+        self._order_epoch = None
 
-class GDSFEviction(EvictionPolicy):
+    def _rebuild_order(self, index: "EvictionIndex") -> None:
+        candidates = index.candidates()
+        if not candidates:
+            raise ValueError("no eviction candidates")
+        scores = self.scores(candidates)
+        ranked = sorted(
+            range(len(candidates)),
+            key=lambda i: (scores[i], candidates[i].sort_key),
+        )
+        self._order = deque(candidates[i] for i in ranked)
+        self._order_epoch = index.epoch
+        self._order_budget = self.batch_size
+
+    def select_from_index(self, index: "EvictionIndex") -> EvictionCandidate:
+        """Pick the next victim, renormalizing once per ``batch_size`` victims.
+
+        With ``batch_size = 1`` the order is rebuilt whenever the index's
+        epoch has advanced — i.e. before every victim under eviction
+        pressure — reproducing the seed semantics exactly.  With a larger
+        batch, up to K victims are drained from one scored pass; entries
+        invalidated by intervening structure changes are skipped via the
+        index identity check, so a stale order can delay but never corrupt
+        a decision.
+        """
+        while True:
+            if (
+                self._order_epoch is None
+                or self._order_budget <= 0
+                or (self.batch_size == 1 and self._order_epoch != index.epoch)
+                or not self._order
+            ):
+                self._rebuild_order(index)
+            while self._order:
+                candidate = self._order.popleft()
+                if index.get(candidate.node.node_id) is candidate:
+                    self._order_budget -= 1
+                    return candidate
+            # Scored order fully drained by stale entries; renormalize.
+
+    def reset(self) -> None:
+        self._order.clear()
+        self._order_epoch = None
+        self._order_budget = 0
+
+
+class GDSFEviction(_LazyHeapPolicy):
     """Greedy-Dual-Size-Frequency (Cherkasova 1998), adapted to cache entries.
 
     ``H(n) = clock + hit_count * saved_flops / size``.  The paper discusses
@@ -117,30 +279,44 @@ class GDSFEviction(EvictionPolicy):
     states; we include it as an ablation comparator.  Since ``saved_flops /
     size`` is exactly FLOP efficiency, the adaptation uses it as the cost
     term, with the standard inflating clock providing aging.
+
+    Ordering omits the clock everywhere: priorities are recomputed against
+    the live clock at selection time, so within one selection the clock is a
+    constant offset shared by every candidate and cannot change the
+    mathematical ordering — but adding a large clock to small cost terms
+    *can* absorb their difference in float64 and flatten real distinctions
+    into tie-breaks.  Ranking by the clock-free key keeps the list scan and
+    the heap selector decision-identical at any clock magnitude.
     """
 
     name = "gdsf"
 
     def __init__(self) -> None:
+        super().__init__()
         self._clock = 0.0
 
     def _priority(self, candidate: EvictionCandidate) -> float:
         frequency = max(1, candidate.node.hit_count)
         return self._clock + frequency * candidate.flop_efficiency
 
+    def _heap_key(self, candidate: EvictionCandidate) -> tuple:
+        frequency = max(1, candidate.node.hit_count)
+        return (frequency * candidate.flop_efficiency,) + candidate.sort_key
+
     def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
         if not candidates:
             raise ValueError("no eviction candidates")
-        return min(candidates, key=lambda c: (self._priority(c), c.sort_key))
+        return min(candidates, key=self._heap_key)
 
     def notify_eviction(self, victim: EvictionCandidate) -> None:
         self._clock = self._priority(victim)
 
     def reset(self) -> None:
+        super().reset()
         self._clock = 0.0
 
 
-class LFUEviction(EvictionPolicy):
+class LFUEviction(_LazyHeapPolicy):
     """Least-frequently-used: evict the candidate with the fewest hits.
 
     Frequency alone has the same blind spot as recency for hybrid states —
@@ -151,13 +327,16 @@ class LFUEviction(EvictionPolicy):
 
     name = "lfu"
 
+    def _heap_key(self, candidate: EvictionCandidate) -> tuple:
+        return (candidate.node.hit_count,) + candidate.sort_key
+
     def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
         if not candidates:
             raise ValueError("no eviction candidates")
         return min(candidates, key=lambda c: (c.node.hit_count, c.sort_key))
 
 
-class LRUKEviction(EvictionPolicy):
+class LRUKEviction(_LazyHeapPolicy):
     """LRU-K (O'Neil 1993): evict the oldest K-th most recent access.
 
     Tracks the last ``k`` access times per node via :meth:`notify_access`.
@@ -170,6 +349,7 @@ class LRUKEviction(EvictionPolicy):
     name = "lru_k"
 
     def __init__(self, k: int = 2) -> None:
+        super().__init__()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
@@ -185,6 +365,10 @@ class LRUKEviction(EvictionPolicy):
             return history[0]
         return float("-inf")
 
+    def _heap_key(self, candidate: EvictionCandidate) -> tuple:
+        # Access times only move forward, so the key never decreases.
+        return (self._kth_access(candidate),) + candidate.sort_key
+
     def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
         if not candidates:
             raise ValueError("no eviction candidates")
@@ -194,10 +378,11 @@ class LRUKEviction(EvictionPolicy):
         self._history.pop(victim.node.node_id, None)
 
     def reset(self) -> None:
+        super().reset()
         self._history.clear()
 
 
-class GDSEviction(EvictionPolicy):
+class GDSEviction(_LazyHeapPolicy):
     """Plain greedy-dual-size with unit cost: ``H(n) = clock + 1 / size``.
 
     The textbook policy the paper's section 4.2 critique targets directly:
@@ -205,25 +390,33 @@ class GDSEviction(EvictionPolicy):
     model's fixed-size recurrent checkpoints is unrelated to the compute a
     hit saves.  Included so ablations can quantify how badly the size proxy
     misprices long-prefix checkpoints.
+
+    As with GDSF, the clock is a shared offset at selection time; both the
+    list scan and the heap rank by the clock-free key.
     """
 
     name = "gds"
 
     def __init__(self) -> None:
+        super().__init__()
         self._clock = 0.0
 
     def _priority(self, candidate: EvictionCandidate) -> float:
         return self._clock + 1.0 / max(1, candidate.freeable_bytes)
 
+    def _heap_key(self, candidate: EvictionCandidate) -> tuple:
+        return (1.0 / max(1, candidate.freeable_bytes),) + candidate.sort_key
+
     def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
         if not candidates:
             raise ValueError("no eviction candidates")
-        return min(candidates, key=lambda c: (self._priority(c), c.sort_key))
+        return min(candidates, key=self._heap_key)
 
     def notify_eviction(self, victim: EvictionCandidate) -> None:
         self._clock = self._priority(victim)
 
     def reset(self) -> None:
+        super().reset()
         self._clock = 0.0
 
 

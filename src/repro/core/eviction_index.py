@@ -1,0 +1,190 @@
+"""Incrementally maintained eviction-candidate index.
+
+The seed implementation of :meth:`MarconiCache._ensure_free` rebuilt the
+candidate set with a full ``tree.iter_nodes()`` DFS — plus a FLOP-efficiency
+recomputation per candidate — on *every* iteration of the eviction loop,
+making sustained cache pressure O(n²·log n).  This module replaces the
+rescan with a :class:`~repro.core.radix_tree.TreeObserver` that tracks the
+evictable set — nodes with at most one child, unpinned, and with positive
+freeable bytes — as the tree changes, re-evaluating only the neighborhood a
+mutation actually touched:
+
+===========================  =============================================
+tree event                   nodes re-evaluated
+===========================  =============================================
+leaf added                   the leaf, its parent (child count changed)
+edge split                   the new middle node, the shortened child
+leaf removed                 dropped; its parent (may become evictable)
+single-child node merged     dropped; the absorbing child (KVs grew)
+leaf truncated               the leaf (freeable bytes shrank)
+checkpoint set / cleared     the node (freeable bytes changed)
+pin / unpin                  each node on the pinned path
+touch / access refresh       the node (recency key changed)
+===========================  =============================================
+
+Cached per-candidate values (``freeable_bytes``, ``flop_efficiency``, the
+precomputed ``sort_key``) are invalidated by *rebuilding the candidate
+object*, so policies can use object identity as a staleness check.  A
+monotonically increasing ``epoch`` stamps every change to the candidate
+set; the FLOP-aware policy reuses its rank-normalized eviction order for as
+long as the epoch stands still.
+
+``node_visits`` counts candidacy evaluations — the index-side analogue of
+the seed's per-eviction full-tree node visits — so the microbenchmark can
+assert the amortized win.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.eviction import EvictionCandidate
+from repro.core.node import RadixNode
+from repro.core.radix_tree import RadixTree, TreeObserver
+
+FreeableFn = Callable[[RadixNode], int]
+EfficiencyFn = Callable[[RadixNode, int], float]
+
+
+class EvictionIndex(TreeObserver):
+    """The maintained evictable set of one radix tree.
+
+    Parameters
+    ----------
+    tree:
+        The tree to observe.  The index registers itself as an observer and
+        seeds the candidate set with one full scan (the only full scan it
+        ever performs).
+    freeable_fn:
+        ``node -> bytes`` the cache would reclaim by evicting the node (the
+        full entry for a leaf, checkpoint-only for a single-child node).
+    efficiency_fn:
+        ``(node, freeable_bytes) -> float`` FLOP efficiency of the node as
+        an eviction candidate.
+    """
+
+    def __init__(
+        self,
+        tree: RadixTree,
+        freeable_fn: FreeableFn,
+        efficiency_fn: EfficiencyFn,
+    ) -> None:
+        self._tree = tree
+        self._freeable_fn = freeable_fn
+        self._efficiency_fn = efficiency_fn
+        self._entries: dict[int, EvictionCandidate] = {}
+        # (freeable, last_access, is_leaf, seq_len, parent_seq_len) of the
+        # last evaluation; when unchanged, the cached candidate stands.
+        self._eval_keys: dict[int, tuple] = {}
+        self._snapshot: Optional[list[EvictionCandidate]] = None
+        self.epoch = 0
+        self.node_visits = 0
+        self.on_candidate_changed: Optional[Callable[[EvictionCandidate], None]] = None
+        tree.add_observer(self)
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, node_id: int) -> Optional[EvictionCandidate]:
+        """Current candidate for ``node_id``, or None when not evictable."""
+        return self._entries.get(node_id)
+
+    def candidates(self) -> list[EvictionCandidate]:
+        """Snapshot list of all current candidates (cached per epoch)."""
+        if self._snapshot is None:
+            self._snapshot = list(self._entries.values())
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Re-seed the candidate set with one full tree scan."""
+        self._entries.clear()
+        self._eval_keys.clear()
+        self._bump()
+        for node in self._tree.iter_nodes():
+            self.refresh(node)
+
+    def refresh(self, node: RadixNode) -> None:
+        """Re-evaluate one node's candidacy and cached values."""
+        self.node_visits += 1
+        node_id = node.node_id
+        if not node.is_eviction_shaped:
+            self._drop(node_id)
+            return
+        freeable = self._freeable_fn(node)
+        if freeable <= 0:
+            self._drop(node_id)
+            return
+        eval_key = (
+            freeable,
+            node.last_access,
+            node.is_leaf,
+            node.seq_len,
+            node.parent_seq_len,
+        )
+        if self._eval_keys.get(node_id) == eval_key:
+            return  # nothing the candidate caches has changed
+        candidate = EvictionCandidate(
+            node=node,
+            freeable_bytes=freeable,
+            flop_efficiency=self._efficiency_fn(node, freeable),
+            last_access=node.last_access,
+            is_leaf=node.is_leaf,
+        )
+        self._entries[node_id] = candidate
+        self._eval_keys[node_id] = eval_key
+        self._bump()
+        if self.on_candidate_changed is not None:
+            self.on_candidate_changed(candidate)
+
+    def _drop(self, node_id: int) -> None:
+        if self._entries.pop(node_id, None) is not None:
+            del self._eval_keys[node_id]
+            self._bump()
+
+    def _bump(self) -> None:
+        self.epoch += 1
+        self._snapshot = None
+
+    # ------------------------------------------------------------------
+    # TreeObserver callbacks
+    # ------------------------------------------------------------------
+    def on_node_added(self, node: RadixNode) -> None:
+        self.refresh(node)
+        if node.parent is not None and not node.parent.is_root:
+            self.refresh(node.parent)
+
+    def on_edge_split(self, middle: RadixNode, child: RadixNode) -> None:
+        self.refresh(middle)
+        self.refresh(child)
+
+    def on_leaf_removed(self, node: RadixNode, parent: RadixNode) -> None:
+        self._drop(node.node_id)
+        if not parent.is_root:
+            self.refresh(parent)
+
+    def on_merged(self, node: RadixNode, child: RadixNode) -> None:
+        self._drop(node.node_id)
+        self.refresh(child)
+
+    def on_leaf_truncated(self, node: RadixNode) -> None:
+        self.refresh(node)
+
+    def on_checkpoint_changed(self, node: RadixNode) -> None:
+        self.refresh(node)
+
+    def on_pin_changed(self, node: RadixNode) -> None:
+        if node.pin_count > 0:
+            # Pinning can only remove candidacy; skip the full evaluation.
+            self._drop(node.node_id)
+        else:
+            self.refresh(node)
+
+    def on_touched(self, node: RadixNode) -> None:
+        self.refresh(node)

@@ -20,6 +20,52 @@ import numpy as np
 from repro.core.node import RadixNode
 
 
+class TreeObserver:
+    """Callback surface fired by :class:`RadixTree` as structure changes.
+
+    Observers power incremental bookkeeping (the eviction index) without the
+    tree knowing anything about byte accounting or policies.  The contract,
+    per callback (see ``docs/architecture.md`` for the full protocol):
+
+    * ``on_node_added(node)`` — a new leaf was linked under ``node.parent``.
+      Fired after linking; the parent's child count has already changed.
+    * ``on_edge_split(middle, child)`` — an edge was split: ``middle`` is the
+      new intermediate node now owning the edge's head, ``child`` kept the
+      tail (its ``edge_tokens`` shrank; its path and ``seq_len`` are
+      unchanged).  ``middle`` inherited ``child``'s pin count.
+    * ``on_leaf_removed(node, parent)`` — ``node`` was detached from
+      ``parent``; ``parent``'s child count has already decreased.
+    * ``on_merged(node, child)`` — single-child ``node`` was removed and
+      ``child`` absorbed its edge tokens (``child.kv_tokens`` grew;
+      ``child.seq_len`` is unchanged).
+    * ``on_leaf_truncated(node)`` — a leaf's edge (and ``seq_len``) shrank.
+    * ``on_checkpoint_changed(node)`` — ``has_ssm_state`` was toggled.
+    * ``on_pin_changed(node)`` — ``pin_count`` changed (fired per node on
+      every :meth:`RadixTree.pin_path` / :meth:`RadixTree.unpin_path` hop).
+    * ``on_touched(node)`` — ``last_access`` (and possibly ``hit_count``)
+      was refreshed.
+
+    All callbacks fire *after* the mutation is complete, so observers may
+    inspect the tree's new state but must not mutate it re-entrantly.
+    """
+
+    def on_node_added(self, node: RadixNode) -> None: ...
+
+    def on_edge_split(self, middle: RadixNode, child: RadixNode) -> None: ...
+
+    def on_leaf_removed(self, node: RadixNode, parent: RadixNode) -> None: ...
+
+    def on_merged(self, node: RadixNode, child: RadixNode) -> None: ...
+
+    def on_leaf_truncated(self, node: RadixNode) -> None: ...
+
+    def on_checkpoint_changed(self, node: RadixNode) -> None: ...
+
+    def on_pin_changed(self, node: RadixNode) -> None: ...
+
+    def on_touched(self, node: RadixNode) -> None: ...
+
+
 def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
     """Length of the longest common prefix of two int token arrays."""
     limit = min(len(a), len(b))
@@ -100,6 +146,21 @@ class RadixTree:
 
     def __init__(self) -> None:
         self.root = RadixNode(np.empty(0, dtype=np.int32), parent=None, now=0.0)
+        self._observers: list[TreeObserver] = []
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: TreeObserver) -> None:
+        """Register ``observer`` for all future structure-change callbacks."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: TreeObserver) -> None:
+        """Unregister ``observer``; no-op if it was never registered."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Queries
@@ -138,6 +199,8 @@ class RadixTree:
                 new_edge_tokens += len(new_leaf.edge_tokens)
                 node = new_leaf
                 pos = len(tokens)
+                for obs in self._observers:
+                    obs.on_node_added(new_leaf)
                 break
             shared = common_prefix_length(child.edge_tokens, tokens[pos:])
             if shared == len(child.edge_tokens):
@@ -154,6 +217,8 @@ class RadixTree:
                 new_edge_tokens += len(new_leaf.edge_tokens)
                 node = new_leaf
                 pos = len(tokens)
+                for obs in self._observers:
+                    obs.on_node_added(new_leaf)
             break
         return InsertOutcome(
             end_node=node,
@@ -184,6 +249,8 @@ class RadixTree:
         child.edge_tokens = child.edge_tokens[at:].copy()
         child.parent = middle
         middle.children[child.first_token] = child
+        for obs in self._observers:
+            obs.on_edge_split(middle, child)
         return middle
 
     # ------------------------------------------------------------------
@@ -198,8 +265,11 @@ class RadixTree:
         if node.is_pinned:
             raise ValueError(f"node {node.node_id} is pinned by an in-flight request")
         assert node.parent is not None
-        del node.parent.children[node.first_token]
+        parent = node.parent
+        del parent.children[node.first_token]
         node.parent = None
+        for obs in self._observers:
+            obs.on_leaf_removed(node, parent)
 
     def merge_into_child(self, node: RadixNode) -> RadixNode:
         """Remove a single-child node; the child absorbs its edge KVs.
@@ -223,6 +293,8 @@ class RadixTree:
         parent.children[first] = child
         node.parent = None
         node.children.clear()
+        for obs in self._observers:
+            obs.on_merged(node, child)
         return child
 
     def truncate_leaf(self, node: RadixNode, keep_tokens: int) -> None:
@@ -244,6 +316,39 @@ class RadixTree:
             )
         node.edge_tokens = node.edge_tokens[:keep_tokens].copy()
         node.seq_len = node.parent_seq_len + keep_tokens
+        for obs in self._observers:
+            obs.on_leaf_truncated(node)
+
+    # ------------------------------------------------------------------
+    # Node state (checkpoint / recency) — routed through the tree so the
+    # observer surface sees every change that affects eviction bookkeeping.
+    # ------------------------------------------------------------------
+    def set_checkpoint(self, node: RadixNode, now: Optional[float] = None) -> None:
+        """Mark ``node`` as holding a full-model recurrent checkpoint."""
+        node.has_ssm_state = True
+        if now is not None:
+            node.last_access = now
+        for obs in self._observers:
+            obs.on_checkpoint_changed(node)
+
+    def clear_checkpoint(self, node: RadixNode) -> None:
+        """Release ``node``'s recurrent checkpoint (and any state payload)."""
+        node.has_ssm_state = False
+        node.state_payload = None
+        for obs in self._observers:
+            obs.on_checkpoint_changed(node)
+
+    def touch(self, node: RadixNode, now: float) -> None:
+        """Refresh ``node``'s recency after a hit (bumps its hit count)."""
+        node.touch(now)
+        for obs in self._observers:
+            obs.on_touched(node)
+
+    def refresh_access(self, node: RadixNode, now: float) -> None:
+        """Refresh ``node``'s recency without counting a hit (admissions)."""
+        node.last_access = now
+        for obs in self._observers:
+            obs.on_touched(node)
 
     # ------------------------------------------------------------------
     # Pinning (in-flight request protection)
@@ -253,6 +358,8 @@ class RadixTree:
         cursor: Optional[RadixNode] = node
         while cursor is not None and not cursor.is_root:
             cursor.pin_count += 1
+            for obs in self._observers:
+                obs.on_pin_changed(cursor)
             cursor = cursor.parent
 
     def unpin_path(self, node: RadixNode) -> None:
@@ -262,6 +369,8 @@ class RadixTree:
             if cursor.pin_count <= 0:
                 raise ValueError(f"unbalanced unpin at node {cursor.node_id}")
             cursor.pin_count -= 1
+            for obs in self._observers:
+                obs.on_pin_changed(cursor)
             cursor = cursor.parent
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ approximation for throughput-oriented engines) and gates the arrival of the
 session's next round: closed-loop within sessions, open-loop across them.
 """
 
+from repro.engine.events import Event, EventKind, EventQueue
 from repro.engine.iteration import (
     IterationConfig,
     IterationResult,
@@ -20,6 +21,9 @@ from repro.engine.results import EngineResult, RequestRecord
 from repro.engine.server import ServingSimulator, simulate_trace
 
 __all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
     "IterationConfig",
     "IterationResult",
     "IterationSimulator",

@@ -1,0 +1,62 @@
+"""Shared discrete-event scaffolding for the serving simulators.
+
+Both the single-node engine (:mod:`repro.engine.server`) and the cluster
+simulator (:mod:`repro.cluster.simulator`) replay traces over the same
+three-event loop; the priority queue's entry type and its tie-break rules
+live here so the two stay in lockstep.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class EventKind(enum.IntEnum):
+    """Event types of the serving simulators' discrete-event loops.
+
+    Enum order is the tie-break at equal timestamps: completions and
+    prefill-done fire before new arrivals so freshly freed capacity and
+    freshly admitted states are visible to same-instant arrivals.
+    """
+
+    PREFILL_DONE = 0
+    REQUEST_COMPLETE = 1
+    REQUEST_ARRIVAL = 2
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled simulator event; ordered by (time, kind, seq)."""
+
+    time: float
+    kind: int
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` with monotonic sequencing.
+
+    The per-queue sequence number makes ordering total (and FIFO among
+    same-time same-kind events), so simulator runs are reproducible
+    regardless of payload contents.
+    """
+
+    def __init__(self, seq: Iterator[int]) -> None:
+        self._heap: list[Event] = []
+        self._seq = seq
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, kind: EventKind, payload: Any) -> None:
+        heapq.heappush(self._heap, Event(time, int(kind), next(self._seq), payload))
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)

@@ -15,37 +15,19 @@ Timeline for each request:
 
 from __future__ import annotations
 
-import enum
-import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.baselines.base import CacheProtocol
+from repro.engine.events import EventKind, EventQueue
 from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
 from repro.engine.results import EngineResult, RequestRecord
 from repro.models.config import ModelConfig
 from repro.models.flops import model_prefill_flops
 from repro.workloads.trace import Trace, TraceSession
-
-
-class _EventKind(enum.IntEnum):
-    # Enum order is the tie-break at equal timestamps: completions and
-    # prefill-done fire before new arrivals so freshly freed capacity and
-    # freshly admitted states are visible to same-instant arrivals.
-    PREFILL_DONE = 0
-    REQUEST_COMPLETE = 1
-    REQUEST_ARRIVAL = 2
-
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    kind: int
-    seq: int
-    payload: Any = field(compare=False)
 
 
 @dataclass
@@ -86,18 +68,16 @@ class ServingSimulator:
 
     def run(self, trace: Trace) -> EngineResult:
         """Simulate the full trace; returns per-request records."""
-        heap: list[_Event] = []
+        events = EventQueue(self._seq)
+        push = events.push
         queue: deque[EngineRequest] = deque()
         result = EngineResult(policy=self.policy_name)
         free_executors = self.n_executors
 
-        def push(time: float, kind: _EventKind, payload: Any) -> None:
-            heapq.heappush(heap, _Event(time, int(kind), next(self._seq), payload))
-
         for session in trace.sessions:
             push(
                 session.arrival_time,
-                _EventKind.REQUEST_ARRIVAL,
+                EventKind.REQUEST_ARRIVAL,
                 self._make_request(session, 0, session.arrival_time),
             )
 
@@ -116,7 +96,7 @@ class ServingSimulator:
                 free_executors -= 1
                 push(
                     now + prefill_seconds,
-                    _EventKind.PREFILL_DONE,
+                    EventKind.PREFILL_DONE,
                     _InFlight(
                         request=request,
                         handle=lookup.handle,
@@ -128,13 +108,13 @@ class ServingSimulator:
                 )
 
         sessions_by_id = {s.session_id: s for s in trace.sessions}
-        while heap:
-            event = heapq.heappop(heap)
+        while events:
+            event = events.pop()
             now = event.time
-            if event.kind == _EventKind.REQUEST_ARRIVAL:
+            if event.kind == EventKind.REQUEST_ARRIVAL:
                 queue.append(event.payload)
                 start_next(now)
-            elif event.kind == _EventKind.PREFILL_DONE:
+            elif event.kind == EventKind.PREFILL_DONE:
                 flight: _InFlight = event.payload
                 request = flight.request
                 result.records.append(
@@ -155,7 +135,7 @@ class ServingSimulator:
                 free_executors += 1
                 push(
                     now + self.latency.decode_seconds(request.output_len),
-                    _EventKind.REQUEST_COMPLETE,
+                    EventKind.REQUEST_COMPLETE,
                     flight,
                 )
                 start_next(now)
@@ -169,7 +149,7 @@ class ServingSimulator:
                     arrival = now + session.think_times[next_round]
                     push(
                         arrival,
-                        _EventKind.REQUEST_ARRIVAL,
+                        EventKind.REQUEST_ARRIVAL,
                         self._make_request(session, next_round, arrival),
                     )
 

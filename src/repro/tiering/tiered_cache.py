@@ -165,8 +165,8 @@ class TieredMarconiCache(MarconiCache):
 
         self._used += kv_cost + checkpoint_cost
         if want_checkpoint:
-            end.has_ssm_state = True
-        end.last_access = now
+            self.tree.set_checkpoint(end)
+        self.tree.refresh_access(end, now)
         if self.store_states:
             end.state_payload = entry.payload
         self.secondary.remove(entry.tokens)

@@ -111,6 +111,90 @@ class TestCacheInvariants:
             for k in range(1, len(full) + 1):
                 seen_prefixes.add(tuple(full[:k]))
 
+    @given(
+        requests=request_stream(),
+        capacity_kb=st.integers(1, 500),
+        eviction=st.sampled_from(["flop_aware", "lru", "gdsf", "gds", "lfu", "lru_k"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_index_matches_full_rescan(self, requests, capacity_kb, eviction):
+        """The core invariant of the incremental-eviction refactor: after
+        every lookup/admit (and the evictions they trigger), the maintained
+        index's candidate set is exactly what a from-scratch
+        ``_collect_candidates()`` rebuild would produce — same nodes, same
+        cached freeable bytes, FLOP efficiencies, and recency keys — and
+        byte accounting still closes."""
+        model = tiny_test_model()
+        cache = MarconiCache(
+            model, capacity_bytes=capacity_kb * 1024, eviction=eviction, alpha=1.0
+        )
+
+        def check():
+            index = cache.eviction_index
+            assert index is not None
+            maintained = {
+                c.node.node_id: (
+                    c.freeable_bytes,
+                    c.flop_efficiency,
+                    c.last_access,
+                    c.is_leaf,
+                    c.sort_key,
+                )
+                for c in index.candidates()
+            }
+            rebuilt = {
+                c.node.node_id: (
+                    c.freeable_bytes,
+                    c.flop_efficiency,
+                    c.last_access,
+                    c.is_leaf,
+                    c.sort_key,
+                )
+                for c in cache._collect_candidates()
+            }
+            assert maintained == rebuilt
+            assert cache.used_bytes == cache.recompute_used_bytes()
+
+        for i, (inp, out) in enumerate(requests):
+            r = cache.lookup(np.asarray(inp, dtype=np.int32), float(i))
+            check()
+            cache.admit(
+                np.asarray(inp + out, dtype=np.int32), float(i) + 0.5, handle=r.handle
+            )
+            check()
+
+    @given(
+        requests=request_stream(),
+        capacity_kb=st.integers(1, 100),
+        eviction=st.sampled_from(["flop_aware", "lru", "gdsf", "gds", "lfu", "lru_k"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_index_and_legacy_modes_decide_identically(
+        self, requests, capacity_kb, eviction
+    ):
+        """Index-backed and full-rescan eviction must pick the same victims:
+        identical hits and byte-identical stats over any workload."""
+        model = tiny_test_model()
+        indexed = MarconiCache(
+            model, capacity_bytes=capacity_kb * 1024, eviction=eviction, alpha=1.0
+        )
+        legacy = MarconiCache(
+            model,
+            capacity_bytes=capacity_kb * 1024,
+            eviction=eviction,
+            alpha=1.0,
+            use_eviction_index=False,
+        )
+        for i, (inp, out) in enumerate(requests):
+            arr_in = np.asarray(inp, dtype=np.int32)
+            arr_full = np.asarray(inp + out, dtype=np.int32)
+            ra = indexed.lookup(arr_in, float(i))
+            rb = legacy.lookup(arr_in, float(i))
+            assert ra.hit_tokens == rb.hit_tokens
+            indexed.admit(arr_full, float(i) + 0.5, handle=ra.handle)
+            legacy.admit(arr_full, float(i) + 0.5, handle=rb.handle)
+            assert indexed.stats.snapshot() == legacy.stats.snapshot()
+
     @given(requests=request_stream())
     @settings(max_examples=30, deadline=None)
     def test_stats_consistency(self, requests):
