@@ -20,7 +20,11 @@ import pytest
 # Benchmark modules fast enough (a few seconds) to stay in the default
 # `pytest -x -q` lane; everything else here is marked `slow` and runs in the
 # dedicated CI benchmark lane (`pytest -m slow`).
-_FAST_MODULES = {"test_micro_core.py", "test_micro_eviction_index.py"}
+_FAST_MODULES = {
+    "test_micro_core.py",
+    "test_micro_eviction_index.py",
+    "test_micro_session.py",
+}
 _BENCH_DIR = Path(__file__).resolve().parent
 
 

@@ -1,0 +1,11 @@
+"""Shared knobs for the runnable examples.
+
+CI's examples smoke lane sets ``REPRO_EXAMPLES_FAST=1`` to shrink every
+example's workload to a fast pass; each example imports :data:`FAST` from
+here so the idiom lives in one place.  (Examples run as scripts, so plain
+``from _common import FAST`` resolves against the script's directory.)
+"""
+
+import os
+
+FAST = os.environ.get("REPRO_EXAMPLES_FAST") == "1"

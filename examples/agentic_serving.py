@@ -24,6 +24,8 @@ from repro import (
 from repro.metrics.hit_rate import mean_hit_rate_by_length_bin
 from repro.metrics.reporting import ascii_table
 
+from _common import FAST
+
 GB = 1e9
 
 
@@ -31,7 +33,10 @@ def main() -> None:
     cache_gb = float(sys.argv[1]) if len(sys.argv) > 1 else 35.0
     model = hybrid_7b()
     trace = generate_swebench_trace(
-        WorkloadParams(n_sessions=160, session_rate=2.0, mean_think_s=7.5, seed=7)
+        WorkloadParams(
+            n_sessions=24 if FAST else 160,
+            session_rate=2.0, mean_think_s=7.5, seed=7,
+        )
     )
     print(
         f"workload: {trace.n_requests} agent steps over {trace.n_sessions} "

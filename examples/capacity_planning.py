@@ -9,6 +9,7 @@ smaller cache for the same hit rate.
 Run:  python examples/capacity_planning.py
 """
 
+from _common import FAST
 from repro import (
     WorkloadParams,
     generate_swebench_trace,
@@ -19,13 +20,16 @@ from repro import (
 from repro.metrics.reporting import ascii_table
 
 GB = 1e9
-CACHE_GRID_GB = (15, 25, 35, 45, 60)
+CACHE_GRID_GB = (15, 35, 60) if FAST else (15, 25, 35, 45, 60)
 
 
 def main() -> None:
     model = hybrid_7b()
     trace = generate_swebench_trace(
-        WorkloadParams(n_sessions=160, session_rate=2.0, mean_think_s=7.5, seed=11)
+        WorkloadParams(
+            n_sessions=24 if FAST else 160,
+            session_rate=2.0, mean_think_s=7.5, seed=11,
+        )
     )
     print(
         f"workload: {trace.n_requests} requests, "

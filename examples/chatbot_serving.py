@@ -10,6 +10,7 @@ Run:  python examples/chatbot_serving.py [cache_gb]
 
 import sys
 
+from _common import FAST
 from repro import (
     LatencyModel,
     WorkloadParams,
@@ -29,7 +30,10 @@ def main() -> None:
     model = hybrid_7b()
     latency = LatencyModel()
     trace = generate_lmsys_trace(
-        WorkloadParams(n_sessions=120, session_rate=2.0, mean_think_s=5.0, seed=7)
+        WorkloadParams(
+            n_sessions=24 if FAST else 120,
+            session_rate=2.0, mean_think_s=5.0, seed=7,
+        )
     )
     print(
         f"workload: {trace.n_requests} requests over {trace.n_sessions} sessions, "

@@ -10,6 +10,7 @@ balance cost that the fairness metrics make visible.
 Run:  python examples/cluster_routing.py
 """
 
+from _common import FAST
 from repro import MarconiCache, hybrid_7b, simulate_cluster
 from repro.cluster import make_router
 from repro.cluster.router import ROUTER_NAMES
@@ -18,7 +19,7 @@ from repro.models.memory import node_state_bytes
 from repro.workloads import generate_lmsys_trace
 
 N_REPLICAS = 4
-SESSIONS = 40
+SESSIONS = 12 if FAST else 40
 
 
 def main() -> None:

@@ -9,6 +9,7 @@ offline upper bound any eviction order could reach.
 Run:  python examples/document_qa.py
 """
 
+from _common import FAST
 from repro import MarconiCache, clairvoyant_replay, classify_trace, hybrid_7b
 from repro.baselines import make_cache
 from repro.metrics import ascii_table
@@ -19,14 +20,16 @@ CACHE_GB = 20
 
 def replay(cache, trace):
     for now, _, _, inp, full in trace.iter_requests_nominal():
-        result = cache.lookup(inp, now)
-        cache.admit(full, now, handle=result.handle)
+        with cache.begin(inp, now) as session:
+            session.commit(full, now)
     return cache.stats.token_hit_rate
 
 
 def main() -> None:
     model = hybrid_7b()
-    trace = generate_docqa_trace(n_sessions=60, seed=11, session_rate=0.5)
+    trace = generate_docqa_trace(
+        n_sessions=12 if FAST else 60, seed=11, session_rate=0.5
+    )
     capacity = int(CACHE_GB * 1e9)
 
     report = classify_trace(trace)

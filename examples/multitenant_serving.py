@@ -13,6 +13,8 @@ Run:  python examples/multitenant_serving.py
 
 from collections import defaultdict
 
+from _common import FAST
+
 from repro import MarconiCache, hybrid_7b, simulate_trace
 from repro.metrics import ascii_table
 from repro.workloads import (
@@ -36,9 +38,9 @@ def per_tenant(result, trace):
 
 def main() -> None:
     model = hybrid_7b()
-    chat = generate_sharegpt_trace(n_sessions=120, seed=1, session_rate=3.0,
+    chat = generate_sharegpt_trace(n_sessions=24 if FAST else 120, seed=1, session_rate=3.0,
                                    mean_think_s=3.0)
-    agent = generate_swebench_trace(n_sessions=12, seed=2, session_rate=0.2,
+    agent = generate_swebench_trace(n_sessions=4 if FAST else 12, seed=2, session_rate=0.2,
                                     mean_think_s=10.0)
     mixed = mix_traces([chat, agent])
     print(

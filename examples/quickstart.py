@@ -30,15 +30,15 @@ def main() -> None:
     def serve(input_tokens: np.ndarray, n_output: int) -> np.ndarray:
         nonlocal clock
         clock += 1.0
-        result = cache.lookup(input_tokens, clock)
-        print(
-            f"  request of {len(input_tokens):5d} tokens: "
-            f"hit {result.hit_tokens:5d} tokens "
-            f"({100 * result.hit_rate:5.1f}%), "
-            f"branch checkpoints at {result.checkpoint_positions or '—'}"
-        )
-        full = np.concatenate([input_tokens, fresh(n_output)])
-        cache.admit(full, clock + 0.5, handle=result.handle)
+        with cache.begin(input_tokens, clock) as session:
+            print(
+                f"  request of {len(input_tokens):5d} tokens: "
+                f"hit {session.hit_tokens:5d} tokens "
+                f"({100 * session.hit_rate:5.1f}%), "
+                f"branch checkpoints at {session.checkpoint_positions or '—'}"
+            )
+            full = np.concatenate([input_tokens, fresh(n_output)])
+            session.commit(full, clock + 0.5)
         return full
 
     print("== Conversation (input + output reuse) ==")

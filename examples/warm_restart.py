@@ -8,6 +8,7 @@ half.  The windowed hit-rate timeline shows the cold restart's warmup dip
 Run:  python examples/warm_restart.py
 """
 
+from _common import FAST
 from repro import MarconiCache, hybrid_7b
 from repro.analysis import windowed_hit_rate
 from repro.core.persistence import load_cache, save_cache
@@ -21,22 +22,22 @@ SNAPSHOT = "/tmp/marconi_cache_snapshot.npz"
 
 def replay(cache, requests, records):
     for now, sid, k, inp, full in requests:
-        result = cache.lookup(inp, now)
-        records.append(
-            RequestRecord(
-                session_id=sid, round_index=k, arrival_time=now, service_start=now,
-                prefill_seconds=0.0, ttft=0.0, input_len=len(inp),
-                hit_tokens=result.hit_tokens, output_len=len(full) - len(inp),
-                reused_bytes=result.reused_bytes, flops_saved=0.0,
+        with cache.begin(inp, now) as session:
+            records.append(
+                RequestRecord(
+                    session_id=sid, round_index=k, arrival_time=now, service_start=now,
+                    prefill_seconds=0.0, ttft=0.0, input_len=len(inp),
+                    hit_tokens=session.hit_tokens, output_len=len(full) - len(inp),
+                    reused_bytes=session.reused_bytes, flops_saved=0.0,
+                )
             )
-        )
-        cache.admit(full, now, handle=result.handle)
+            session.commit(full, now)
 
 
 def main() -> None:
     model = hybrid_7b()
     capacity = 40 * node_state_bytes(model, 3000, True)
-    trace = generate_lmsys_trace(n_sessions=40, seed=13)
+    trace = generate_lmsys_trace(n_sessions=12 if FAST else 40, seed=13)
     requests = list(trace.iter_requests_nominal())
     half = len(requests) // 2
 

@@ -16,7 +16,7 @@ Public surface:
 * :mod:`repro.experiments` — one harness per paper figure/table.
 """
 
-from repro.core import MarconiCache
+from repro.core import MarconiCache, RequestSession, SessionState
 from repro.analysis import clairvoyant_replay, classify_trace
 from repro.baselines import SGLangPlusCache, VanillaCache, VLLMPlusCache, make_cache
 from repro.cluster import make_router, simulate_cluster
@@ -38,6 +38,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "MarconiCache",
+    "RequestSession",
+    "SessionState",
     "TieredMarconiCache",
     "VanillaCache",
     "VLLMPlusCache",

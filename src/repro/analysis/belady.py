@@ -119,9 +119,9 @@ def clairvoyant_replay(
     for index, (now, _, _, input_tokens, full_tokens) in enumerate(requests):
         # The request being served is no longer a *future* use of anything.
         policy.advance(index + 1)
-        result = cache.lookup(input_tokens, now)
-        per_request_hits.append(result.hit_tokens)
-        cache.admit(full_tokens, now, handle=result.handle)
+        with cache.begin(input_tokens, now) as session:
+            per_request_hits.append(session.hit_tokens)
+            session.commit(full_tokens, now)
 
     stats = cache.stats
     return ClairvoyantResult(

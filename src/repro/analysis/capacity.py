@@ -30,8 +30,8 @@ def _replay_hit_rate(
 ) -> float:
     cache = make_cache(policy, model, capacity_bytes, **kwargs)
     for now, _, _, inp, full in trace.iter_requests_nominal():
-        result = cache.lookup(inp, now)
-        cache.admit(full, now, handle=result.handle)
+        with cache.begin(inp, now) as session:
+            session.commit(full, now)
     return cache.stats.token_hit_rate
 
 

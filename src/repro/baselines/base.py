@@ -1,38 +1,27 @@
 """Shared surface for baseline caches.
 
 All caches implement :class:`repro.core.interfaces.PrefixCache`; this module
-re-exports it under a baseline-local name so the baseline implementations
-and their tests read naturally, and defines the runtime-checkable protocol
-the engine validates against.
+re-exports it — together with the runtime-checkable
+:class:`~repro.core.interfaces.CacheProtocol` the engines validate against —
+under a baseline-local name so the baseline implementations and their tests
+read naturally.  The protocol itself is defined once, in
+:mod:`repro.core.interfaces`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Protocol, runtime_checkable
+from repro.core.interfaces import (
+    AdmitResult,
+    CacheProtocol,
+    LookupResult,
+    PrefixCache,
+    RequestSession,
+)
 
-import numpy as np
-
-from repro.core.interfaces import AdmitResult, LookupResult, PrefixCache
-
-__all__ = ["PrefixCache", "CacheProtocol", "LookupResult", "AdmitResult"]
-
-
-@runtime_checkable
-class CacheProtocol(Protocol):
-    """Structural type the serving engine requires of any cache."""
-
-    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult: ...
-
-    def admit(
-        self,
-        tokens: np.ndarray,
-        now: float,
-        handle: Any = None,
-        state_payload: Any = None,
-    ) -> AdmitResult: ...
-
-    @property
-    def capacity_bytes(self) -> int: ...
-
-    @property
-    def used_bytes(self) -> int: ...
+__all__ = [
+    "PrefixCache",
+    "CacheProtocol",
+    "LookupResult",
+    "AdmitResult",
+    "RequestSession",
+]

@@ -45,8 +45,8 @@ class OracleResult:
 def replay_requests(cache: PrefixCache, requests: Iterable[ReplayRequest]) -> float:
     """Run a request log through ``cache`` and return its token hit rate."""
     for request in requests:
-        result = cache.lookup(request.input_tokens, request.now)
-        cache.admit(request.full_tokens, request.now, handle=result.handle)
+        with cache.begin(request.input_tokens, request.now) as session:
+            session.commit(request.full_tokens, request.now)
     return cache.stats.token_hit_rate
 
 

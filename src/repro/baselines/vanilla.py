@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
-from repro.core.interfaces import AdmitResult, LookupResult, PrefixCache, as_token_array
+from repro.core.interfaces import (
+    AdmitResult,
+    LookupResult,
+    PrefixCache,
+    RequestSession,
+    as_token_array,
+)
 from repro.core.stats import CacheStats
 from repro.models.config import ModelConfig
 
@@ -14,26 +20,29 @@ from repro.models.config import ModelConfig
 class VanillaCache(PrefixCache):
     """The no-caching baseline.
 
-    Lookups always miss and admissions are dropped; the class exists so the
-    serving engine can treat "no prefix caching" uniformly with real caches.
+    Sessions always miss and admissions are dropped; the class exists so
+    the serving engine can treat "no prefix caching" uniformly with real
+    caches.
     """
 
     def __init__(self, model: ModelConfig, capacity_bytes: int = 0) -> None:
         self.model = model
         self._stats = CacheStats()
 
-    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult:
+    def _begin_session(self, tokens: np.ndarray, now: float) -> RequestSession:
         tokens = as_token_array(tokens)
         if len(tokens) == 0:
             raise ValueError("cannot look up an empty token sequence")
         self._stats.record_lookup(0, len(tokens))
-        return LookupResult(hit_tokens=0, input_tokens=len(tokens))
+        return RequestSession(
+            self, LookupResult(hit_tokens=0, input_tokens=len(tokens))
+        )
 
-    def admit(
+    def _commit_session(
         self,
+        session: Optional[RequestSession],
         tokens: np.ndarray,
         now: float,
-        handle: Any = None,
         state_payload: Any = None,
     ) -> AdmitResult:
         as_token_array(tokens)
@@ -53,4 +62,5 @@ class VanillaCache(PrefixCache):
         return self._stats
 
     def reset(self) -> None:
+        self.detach_open_sessions()
         self._stats = CacheStats()

@@ -11,23 +11,22 @@ section 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
 
 from repro.baselines.block_store import BlockStore, BlockReuseStats, _ROOT_ID
-from repro.core.interfaces import AdmitResult, LookupResult, PrefixCache, as_token_array
+from repro.core.interfaces import (
+    AdmitResult,
+    LookupResult,
+    PrefixCache,
+    RequestSession,
+    as_token_array,
+)
 from repro.core.stats import CacheStats
 from repro.models.config import ModelConfig
 from repro.models.flops import model_prefill_flops
 from repro.models.memory import kv_bytes, model_recurrent_bytes
-
-
-@dataclass
-class _VllmHandle:
-    input_len: int
-    closed: bool = False
 
 
 class VLLMPlusCache(PrefixCache):
@@ -69,7 +68,7 @@ class VLLMPlusCache(PrefixCache):
     # ------------------------------------------------------------------
     # PrefixCache surface
     # ------------------------------------------------------------------
-    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult:
+    def _begin_session(self, tokens: np.ndarray, now: float) -> RequestSession:
         tokens = as_token_array(tokens)
         if len(tokens) == 0:
             raise ValueError("cannot look up an empty token sequence")
@@ -88,11 +87,13 @@ class VLLMPlusCache(PrefixCache):
                 self.store.touch(block, now)
         self._stats.record_lookup(hit_tokens, len(tokens))
         self._stats.flops_saved += model_prefill_flops(self.model, hit_tokens)
-        return LookupResult(
-            hit_tokens=hit_tokens,
-            input_tokens=len(tokens),
-            reused_bytes=reused_bytes,
-            handle=_VllmHandle(input_len=len(tokens)),
+        return RequestSession(
+            self,
+            LookupResult(
+                hit_tokens=hit_tokens,
+                input_tokens=len(tokens),
+                reused_bytes=reused_bytes,
+            ),
         )
 
     def probe(self, tokens: np.ndarray) -> int:
@@ -107,22 +108,16 @@ class VLLMPlusCache(PrefixCache):
         max_blocks = (len(tokens) - 1) // self.block_size
         return len(self.store.match_chain(tokens, max_blocks=max_blocks)) * self.block_size
 
-    def admit(
+    def _commit_session(
         self,
+        session: Optional[RequestSession],
         tokens: np.ndarray,
         now: float,
-        handle: Any = None,
         state_payload: Any = None,
     ) -> AdmitResult:
         tokens = as_token_array(tokens)
         if len(tokens) == 0:
             raise ValueError("cannot admit an empty token sequence")
-        if handle is not None:
-            if not isinstance(handle, _VllmHandle):
-                raise TypeError(f"handle must come from lookup(), got {type(handle)!r}")
-            if handle.closed:
-                raise ValueError("handle was already admitted")
-            handle.closed = True
 
         evicted_before = self._stats.evicted_bytes
         admitted = 0
@@ -188,6 +183,7 @@ class VLLMPlusCache(PrefixCache):
         return self.store.reuse_stats
 
     def reset(self) -> None:
+        self.detach_open_sessions()
         self.store = BlockStore(self.block_size)
         self._used = 0
         self._stats = CacheStats()

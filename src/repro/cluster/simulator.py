@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import CacheProtocol
+from repro.baselines.base import CacheProtocol, RequestSession
 from repro.engine.events import EventKind, EventQueue
 from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
@@ -32,10 +32,7 @@ from repro.workloads.trace import Trace, TraceSession
 class _InFlight:
     request: EngineRequest
     replica: int
-    handle: Any
-    hit_tokens: int
-    reused_bytes: int
-    reused_secondary_bytes: int
+    session: RequestSession  # lookup outcome (hit/reused bytes) lives here
     service_start: float
     prefill_seconds: float
 
@@ -133,13 +130,13 @@ class ClusterSimulator:
             if busy[replica] or not queues[replica]:
                 return
             request = queues[replica].pop(0)
-            lookup = self.caches[replica].lookup(request.input_tokens, now)
+            session = self.caches[replica].begin(request.input_tokens, now)
             prefill_seconds = self.latency.prefill_seconds(
                 self.model,
                 seq_len=request.input_len,
-                reused_len=lookup.hit_tokens,
-                reused_bytes=lookup.reused_bytes,
-                secondary_bytes=getattr(lookup, "reused_secondary_bytes", 0),
+                reused_len=session.hit_tokens,
+                reused_bytes=session.reused_bytes,
+                secondary_bytes=session.reused_secondary_bytes,
             )
             busy[replica] = True
             push(
@@ -148,10 +145,7 @@ class ClusterSimulator:
                 _InFlight(
                     request=request,
                     replica=replica,
-                    handle=lookup.handle,
-                    hit_tokens=lookup.hit_tokens,
-                    reused_bytes=lookup.reused_bytes,
-                    reused_secondary_bytes=getattr(lookup, "reused_secondary_bytes", 0),
+                    session=session,
                     service_start=now,
                     prefill_seconds=prefill_seconds,
                 ),
@@ -194,10 +188,12 @@ class ClusterSimulator:
                         prefill_seconds=flight.prefill_seconds,
                         ttft=now - request.arrival_time,
                         input_len=request.input_len,
-                        hit_tokens=flight.hit_tokens,
+                        hit_tokens=flight.session.hit_tokens,
                         output_len=request.output_len,
-                        reused_bytes=flight.reused_bytes,
-                        flops_saved=model_prefill_flops(self.model, flight.hit_tokens),
+                        reused_bytes=flight.session.reused_bytes,
+                        flops_saved=model_prefill_flops(
+                            self.model, flight.session.hit_tokens
+                        ),
                     )
                 )
                 busy_seconds[flight.replica] += flight.prefill_seconds
@@ -211,9 +207,7 @@ class ClusterSimulator:
             else:  # REQUEST_COMPLETE
                 flight = event.payload
                 request = flight.request
-                self.caches[flight.replica].admit(
-                    request.full_tokens, now, handle=flight.handle
-                )
+                flight.session.commit(request.full_tokens, now)
                 session = sessions_by_id[request.session_id]
                 next_round = request.round_index + 1
                 if next_round < session.n_rounds:

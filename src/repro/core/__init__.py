@@ -8,8 +8,11 @@ direct use by tests, baselines, and ablation benchmarks.
 
 from repro.core.interfaces import (
     AdmitResult,
+    CacheProtocol,
     LookupResult,
     PrefixCache,
+    RequestSession,
+    SessionState,
 )
 from repro.core.eviction_index import EvictionIndex
 from repro.core.node import RadixNode
@@ -34,8 +37,11 @@ from repro.core.stats import CacheStats
 
 __all__ = [
     "AdmitResult",
+    "CacheProtocol",
     "LookupResult",
     "PrefixCache",
+    "RequestSession",
+    "SessionState",
     "RadixNode",
     "RadixTree",
     "TreeObserver",

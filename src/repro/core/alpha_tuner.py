@@ -169,8 +169,10 @@ class AlphaTuner:
         assert self._snapshot is not None
         replica = cache.make_replay_cache(alpha, self._snapshot)
         for entry in self._log:
-            result = replica.lookup(entry.full_tokens[: entry.input_len], entry.now)
-            replica.admit(entry.full_tokens, entry.now, handle=result.handle)
+            with replica.begin(
+                entry.full_tokens[: entry.input_len], entry.now
+            ) as session:
+                session.commit(entry.full_tokens, entry.now)
         return replica.stats.token_hit_rate
 
     # ------------------------------------------------------------------

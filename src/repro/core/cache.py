@@ -2,10 +2,10 @@
 
 The cache manages KVs and recurrent states *holistically in one radix tree*
 (section 4): each node owns the KVs of its edge and, when checkpointed, one
-full-model recurrent state.  The serving engine drives the two-phase
-protocol of :class:`repro.core.interfaces.PrefixCache`:
+full-model recurrent state.  The serving engine drives the transactional
+session protocol of :class:`repro.core.interfaces.PrefixCache`:
 
-``lookup`` (prefill start)
+``begin`` (prefill start)
     * finds the longest reusable prefix — for hybrid models the deepest
       exactly-matching checkpointed node; for pure Transformers the raw
       common-prefix length,
@@ -14,11 +14,16 @@ protocol of :class:`repro.core.interfaces.PrefixCache`:
       that a "purely input" shared prefix exists — checkpoints the new
       branch-point node.
 
-``admit`` (decode end)
+``session.commit`` (decode end)
     * extends the path with the generated tokens and checkpoints the state
       of the last decoded token, the resume point of "input + output" reuse.
 
-Pinning protects the states of in-flight requests between the two phases.
+``session.abort`` (cancellation / failure)
+    * releases the lookup-time pin and rolls back whatever the begin-time
+      speculative insertion added that no other request has since built on
+      (the new edge's KVs, the branch checkpoint, the edge split).
+
+Pinning protects the states of in-flight requests between begin and close.
 """
 
 from __future__ import annotations
@@ -36,7 +41,13 @@ from repro.core.eviction import (
     make_eviction_policy,
 )
 from repro.core.eviction_index import EvictionIndex
-from repro.core.interfaces import AdmitResult, LookupResult, PrefixCache, as_token_array
+from repro.core.interfaces import (
+    AdmitResult,
+    LookupResult,
+    PrefixCache,
+    RequestSession,
+    as_token_array,
+)
 from repro.core.node import RadixNode
 from repro.core.radix_tree import RadixTree
 from repro.core.stats import CacheStats
@@ -51,16 +62,22 @@ from repro.models.memory import (
 )
 
 
-@dataclass
-class _RequestHandle:
-    """Ties a lookup to its admit; opaque to callers."""
+class MarconiSession(RequestSession):
+    """Marconi's request session: the pin/rollback state machine.
 
-    input_len: int
-    end_node: Optional[RadixNode] = None
-    pinned_node: Optional[RadixNode] = None
-    branch_node: Optional[RadixNode] = None
-    rolled_back: bool = False
-    closed: bool = False
+    Carries everything the cache pinned or speculatively inserted at begin
+    time, so commit knows what to extend and abort knows what to undo.
+    """
+
+    def __init__(self, cache: "MarconiCache", input_len: int) -> None:
+        super().__init__(cache)
+        self.input_len = input_len
+        self.end_node: Optional[RadixNode] = None
+        self.pinned_node: Optional[RadixNode] = None
+        self.branch_node: Optional[RadixNode] = None
+        self.new_leaf: Optional[RadixNode] = None
+        self.split_node: Optional[RadixNode] = None
+        self.rolled_back: bool = False
 
 
 @dataclass
@@ -226,6 +243,7 @@ class MarconiCache(PrefixCache):
         return 0.0
 
     def reset(self) -> None:
+        self.detach_open_sessions()  # outstanding sessions must not touch the new tree
         self._used = 0
         self._stats = CacheStats()
         self._scan_node_visits = 0
@@ -233,9 +251,9 @@ class MarconiCache(PrefixCache):
         self.tree = RadixTree()  # after the policy so the index binds to it
 
     # ------------------------------------------------------------------
-    # Lookup (prefill start)
+    # Begin (prefill start)
     # ------------------------------------------------------------------
-    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult:
+    def _begin_session(self, tokens: np.ndarray, now: float) -> MarconiSession:
         tokens = as_token_array(tokens)
         if len(tokens) == 0:
             raise ValueError("cannot look up an empty token sequence")
@@ -274,11 +292,11 @@ class MarconiCache(PrefixCache):
         outcome = self.tree.insert(tokens, now)
         self.tree.refresh_access(outcome.end_node, now)
         self.tree.pin_path(outcome.end_node)
-        handle = _RequestHandle(
-            input_len=len(tokens),
-            end_node=outcome.end_node,
-            pinned_node=outcome.end_node,
-        )
+        session = MarconiSession(self, input_len=len(tokens))
+        session.end_node = outcome.end_node
+        session.pinned_node = outcome.end_node
+        session.new_leaf = outcome.new_leaf
+        session.split_node = outcome.split_node
 
         branch = outcome.split_node
         want_branch_checkpoint = (
@@ -294,26 +312,26 @@ class MarconiCache(PrefixCache):
             if want_branch_checkpoint:
                 assert branch is not None
                 self.tree.set_checkpoint(branch, now)
-                handle.branch_node = branch
+                session.branch_node = branch
         elif self._ensure_free(kv_cost):
             # Cache pressure: keep the KVs, drop the branch checkpoint.
             self._used += kv_cost
         elif self._charge_partial_leaf(outcome) == 0:
             # Not even a prefix of the input KVs fits (pinned working set
             # exceeds capacity): serve the request without caching its path.
-            self._rollback_input_insert(handle, outcome)
+            self._rollback_input_insert(session, outcome)
 
         checkpoint_positions = (
-            [handle.branch_node.seq_len] if handle.branch_node is not None else []
+            [session.branch_node.seq_len] if session.branch_node is not None else []
         )
-        return LookupResult(
+        session.result = LookupResult(
             hit_tokens=hit_tokens,
             input_tokens=len(tokens),
             reused_bytes=reused_bytes,
-            handle=handle,
             checkpoint_positions=checkpoint_positions,
             state_payload=payload,
         )
+        return session
 
     def _charge_partial_leaf(self, outcome) -> int:
         """Truncate the just-inserted leaf to the longest affordable prefix.
@@ -337,13 +355,13 @@ class MarconiCache(PrefixCache):
         self._used += charged
         return charged
 
-    def _rollback_input_insert(self, handle: _RequestHandle, outcome) -> None:
+    def _rollback_input_insert(self, session: MarconiSession, outcome) -> None:
         """Undo a just-committed input path that cannot be afforded."""
-        assert handle.pinned_node is not None
-        self.tree.unpin_path(handle.pinned_node)
-        handle.pinned_node = None
-        handle.end_node = None
-        handle.rolled_back = True
+        assert session.pinned_node is not None
+        self.tree.unpin_path(session.pinned_node)
+        session.pinned_node = None
+        session.end_node = None
+        session.rolled_back = True
         if outcome.new_leaf is not None and outcome.new_leaf.parent is not None:
             self.tree.remove_leaf(outcome.new_leaf)
         split = outcome.split_node
@@ -356,32 +374,29 @@ class MarconiCache(PrefixCache):
         ):
             # Restore the original un-split edge.
             self.tree.merge_into_child(split)
+        session.new_leaf = None
+        session.split_node = None
         self._stats.record_admission(0, rejected=True)
 
     # ------------------------------------------------------------------
-    # Admit (decode end)
+    # Commit (decode end)
     # ------------------------------------------------------------------
-    def admit(
+    def _commit_session(
         self,
+        session: Optional[MarconiSession],
         tokens: np.ndarray,
         now: float,
-        handle: Any = None,
         state_payload: Any = None,
     ) -> AdmitResult:
         tokens = as_token_array(tokens)
         if len(tokens) == 0:
             raise ValueError("cannot admit an empty token sequence")
-        if handle is not None and not isinstance(handle, _RequestHandle):
-            raise TypeError(f"handle must come from lookup(), got {type(handle)!r}")
-        if handle is not None:
-            if handle.closed:
-                raise ValueError("handle was already admitted")
-            handle.closed = True
-            if handle.rolled_back:
+        if session is not None:
+            if session.rolled_back:
                 # The input path was never cached; skip the output too.
-                self._finish_request(now, handle.input_len, tokens)
+                self._finish_request(now, session.input_len, tokens)
                 return AdmitResult(rejected=True)
-            input_len = handle.input_len
+            input_len = session.input_len
         else:
             input_len = len(tokens)
 
@@ -390,12 +405,12 @@ class MarconiCache(PrefixCache):
         end = outcome.end_node
         # Protect the not-yet-charged extension (and the nodes the upcoming
         # eviction pass must not merge into it) before freeing space; the
-        # lookup-time pin, if any, is released only afterwards so the path
+        # begin-time pin, if any, is released only afterwards so the path
         # is never exposed in between.
         self.tree.pin_path(end)
-        if handle is not None and handle.pinned_node is not None:
-            self.tree.unpin_path(handle.pinned_node)
-            handle.pinned_node = None
+        if session is not None and session.pinned_node is not None:
+            self.tree.unpin_path(session.pinned_node)
+            session.pinned_node = None
         want_leaf_checkpoint = (
             self.model.has_recurrent_layers and not end.has_ssm_state
         )
@@ -437,19 +452,84 @@ class MarconiCache(PrefixCache):
             rejected=rejected,
         )
 
-    def attach_branch_state(self, handle: Any, position: int, payload: Any) -> None:
-        """Attach a materialized model state to this request's branch checkpoint.
+    # ------------------------------------------------------------------
+    # Abort (cancellation / failure)
+    # ------------------------------------------------------------------
+    def _abort_session(self, session: MarconiSession) -> None:
+        """Release the begin-time pin and roll back the speculative insert.
 
-        Only meaningful with ``store_states=True``; the engine calls this
-        after checkpointing the state at ``position`` during prefill.
+        Rollback is conservative: state this request added is removed only
+        when no other request has since built on it — a still-pinned node,
+        a leaf that grew children, or a checkpoint that appeared on the new
+        edge stays cached (and stays charged; the accounting invariant
+        ``used_bytes == recompute_used_bytes()`` holds either way).
         """
-        if not isinstance(handle, _RequestHandle):
-            raise TypeError("handle must come from lookup()")
-        node = handle.branch_node
+        if session.pinned_node is not None:
+            self.tree.unpin_path(session.pinned_node)
+            session.pinned_node = None
+        self._stats.extra["aborted_sessions"] = (
+            self._stats.extra.get("aborted_sessions", 0) + 1
+        )
+        if session.rolled_back:
+            return  # begin already rolled everything back
+
+        # Drop the speculative branch checkpoint this request planned.
+        branch = session.branch_node
+        if (
+            branch is not None
+            and branch.parent is not None
+            and branch.has_ssm_state
+            and not branch.is_pinned
+        ):
+            self.tree.clear_checkpoint(branch)
+            self._used -= model_recurrent_bytes(self.model)
+            session.branch_node = None
+
+        # Remove the new edge's KVs unless another path grew through it.
+        leaf = session.new_leaf
+        if (
+            leaf is not None
+            and leaf.parent is not None
+            and leaf.is_leaf
+            and not leaf.is_pinned
+            and not leaf.has_ssm_state
+        ):
+            self._used -= leaf.kv_tokens * kv_bytes_per_token(self.model)
+            self.tree.remove_leaf(leaf)
+            session.new_leaf = None
+
+        # Restore the original un-split edge when the split served only us.
+        split = session.split_node
+        if (
+            split is not None
+            and split.parent is not None
+            and split.n_children == 1
+            and not split.has_ssm_state
+            and not split.is_pinned
+        ):
+            self.tree.merge_into_child(split)
+            session.split_node = None
+
+    def _attach_session(
+        self, session: MarconiSession, position: int, payload: Any
+    ) -> None:
+        node = session.branch_node
         if node is None or node.seq_len != position:
             raise ValueError(f"no pending branch checkpoint at position {position}")
         if self.store_states:
             node.state_payload = payload
+
+    def attach_branch_state(self, handle: Any, position: int, payload: Any) -> None:
+        """Deprecated: use :meth:`RequestSession.attach_branch_state`.
+
+        Only meaningful with ``store_states=True``; the engine calls this
+        after checkpointing the state at ``position`` during prefill.
+        """
+        if not isinstance(handle, RequestSession):
+            raise TypeError("handle must come from lookup()")
+        if handle.cache is not self:
+            raise TypeError("handle came from a different cache instance")
+        handle.attach_branch_state(position, payload)
 
     # ------------------------------------------------------------------
     # Eviction

@@ -1,20 +1,34 @@
 """Common cache interfaces shared by Marconi and the baselines.
 
-Every policy implements the two-phase protocol the serving engine drives:
+The cache surface is transactional: every request opens a
+:class:`RequestSession` against the cache and closes it exactly once.
 
-1. :meth:`PrefixCache.lookup` at prefill start — returns how many input
-   tokens can skip prefill and performs any prefill-time bookkeeping the
-   policy requires (Marconi inserts the input path and plans branch-point
-   checkpoints here).
-2. :meth:`PrefixCache.admit` at decode end — hands the full sequence
-   (input + generated output) to the cache for admission.
+1. :meth:`PrefixCache.begin` at prefill start — performs the lookup
+   (how many input tokens can skip prefill) plus any prefill-time
+   bookkeeping the policy requires (Marconi inserts the input path, pins
+   it, and plans branch-point checkpoints here) and returns the open
+   session.
+2. :meth:`RequestSession.commit` at decode end — hands the full sequence
+   (input + generated output) to the cache for admission and closes the
+   session.
+3. :meth:`RequestSession.abort` on cancellation/failure — releases the
+   lookup-time pins and rolls back the speculative input insertion, so a
+   request that never finishes cannot leak pinned state.
+
+Sessions are context managers: ``with cache.begin(tokens, now) as s: ...``
+aborts automatically unless the body committed.  The legacy two-phase
+methods :meth:`PrefixCache.lookup` / :meth:`PrefixCache.admit` remain as
+thin deprecated shims implemented on top of sessions (the ``handle`` they
+thread *is* the session).
 """
 
 from __future__ import annotations
 
 import abc
+import enum
+import weakref
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -39,8 +53,10 @@ class LookupResult:
         (zero for single-tier caches); priced at the latency model's
         slower secondary bandwidth.
     handle:
-        Opaque policy-specific handle that must be passed back to
-        :meth:`PrefixCache.admit` for the same request.
+        The request's :class:`RequestSession` when the lookup came through
+        the legacy :meth:`PrefixCache.lookup` shim (pass it back to
+        :meth:`PrefixCache.admit`); ``None`` on the session API, where the
+        session itself is the handle.
     checkpoint_positions:
         Prefix lengths (in tokens) at which the policy asks the engine to
         materialize recurrent states during this prefill (Marconi's
@@ -80,14 +96,350 @@ class AdmitResult:
     rejected: bool = False
 
 
+class SessionState(enum.Enum):
+    """Lifecycle of a :class:`RequestSession`.
+
+    ``OPEN`` → ``COMMITTED`` (decode finished, sequence admitted) or
+    ``ABORTED`` (request cancelled/failed, lookup-time state rolled back).
+    ``DETACHED`` marks sessions orphaned by :meth:`PrefixCache.reset`:
+    their cache-side state no longer exists, so both closing verbs become
+    inert (committing raises, aborting is a no-op).
+    """
+
+    OPEN = "open"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    DETACHED = "detached"
+
+
+class RequestSession:
+    """One request's transactional window against a :class:`PrefixCache`.
+
+    Created by :meth:`PrefixCache.begin`; closed exactly once by
+    :meth:`commit` or :meth:`abort`.  The session exposes the lookup
+    outcome (``hit_tokens``, ``reused_bytes``, ``checkpoint_positions``,
+    ...) and owns whatever per-request state the cache pinned at begin
+    time — subclasses add policy-specific fields (Marconi keeps the pinned
+    path and speculative-insert bookkeeping here).
+
+    Leak safety: sessions are context managers (``__exit__`` aborts if the
+    body did not commit) and garbage collection of a still-open session
+    aborts it as a last resort, so dropped sessions cannot pin cache state
+    forever.  The GC net is disarmed on sessions handed out through the
+    legacy :meth:`PrefixCache.lookup` shim, which must preserve the old
+    drop-the-handle behaviour bit for bit.
+    """
+
+    def __init__(self, cache: "PrefixCache", result: Optional[LookupResult] = None):
+        self._cache = cache
+        self.result = result
+        self._state = SessionState.OPEN
+        self._gc_abort = True
+        self.admit_result: Optional[AdmitResult] = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> "PrefixCache":
+        return self._cache
+
+    @property
+    def state(self) -> SessionState:
+        return self._state
+
+    @property
+    def is_open(self) -> bool:
+        return self._state is SessionState.OPEN
+
+    @property
+    def is_committed(self) -> bool:
+        return self._state is SessionState.COMMITTED
+
+    @property
+    def is_aborted(self) -> bool:
+        return self._state is SessionState.ABORTED
+
+    # ------------------------------------------------------------------
+    # Lookup-outcome views
+    # ------------------------------------------------------------------
+    @property
+    def hit_tokens(self) -> int:
+        return self.result.hit_tokens
+
+    @property
+    def input_tokens(self) -> int:
+        return self.result.input_tokens
+
+    @property
+    def reused_bytes(self) -> int:
+        return self.result.reused_bytes
+
+    @property
+    def reused_secondary_bytes(self) -> int:
+        return self.result.reused_secondary_bytes
+
+    @property
+    def checkpoint_positions(self) -> list[int]:
+        return self.result.checkpoint_positions
+
+    @property
+    def state_payload(self) -> Any:
+        return self.result.state_payload
+
+    @property
+    def hit_rate(self) -> float:
+        return self.result.hit_rate
+
+    @property
+    def is_hit(self) -> bool:
+        return self.result.is_hit
+
+    # ------------------------------------------------------------------
+    # Lifecycle verbs
+    # ------------------------------------------------------------------
+    def attach_branch_state(self, position: int, payload: Any) -> None:
+        """Attach a materialized model state to this request's branch
+        checkpoint at ``position`` (only meaningful while open)."""
+        if self._state is not SessionState.OPEN:
+            raise ValueError(
+                f"cannot attach state to a {self._state.value} session"
+            )
+        self._cache._attach_session(self, position, payload)
+
+    def commit(
+        self, full_tokens: np.ndarray, now: float, state_payload: Any = None
+    ) -> AdmitResult:
+        """Admit the finished sequence (input + output) and close the session."""
+        if self._state is SessionState.COMMITTED:
+            raise ValueError("session was already admitted (commit runs once)")
+        if self._state is SessionState.ABORTED:
+            raise ValueError("cannot commit an aborted session")
+        if self._state is SessionState.DETACHED:
+            raise ValueError("cannot commit a session detached by cache.reset()")
+        cache = self._cache
+        cache._mutating = True
+        try:
+            result = cache._commit_session(self, full_tokens, now, state_payload)
+        finally:
+            cache._mutating = False
+            cache._drain_deferred_aborts()
+        self._state = SessionState.COMMITTED
+        self.admit_result = result
+        cache._session_closed(self)
+        return result
+
+    def abort(self) -> None:
+        """Release lookup-time pins and roll back the speculative input
+        insertion.  Idempotent; a no-op on already-closed sessions."""
+        if self._state is not SessionState.OPEN:
+            return
+        cache = self._cache
+        cache._mutating = True
+        try:
+            cache._abort_session(self)
+        finally:
+            cache._mutating = False
+            cache._drain_deferred_aborts()
+        self._state = SessionState.ABORTED
+        cache._session_closed(self)
+
+    def _detach(self) -> None:
+        """Orphan the session (cache.reset() dropped its state wholesale)."""
+        if self._state is SessionState.OPEN:
+            self._state = SessionState.DETACHED
+
+    # ------------------------------------------------------------------
+    # Context manager + GC safety net
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "RequestSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._state is SessionState.OPEN:
+            self.abort()
+        return False
+
+    def __del__(self) -> None:
+        try:
+            if self._state is SessionState.OPEN and self._gc_abort:
+                self._cache._on_session_gc(self)
+        except Exception:  # pragma: no cover - interpreter-teardown guard
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self._state.value} "
+            f"hit={self.result.hit_tokens if self.result else '?'}>"
+        )
+
+
 class PrefixCache(abc.ABC):
-    """Abstract prefix cache driven by the serving engine."""
+    """Abstract prefix cache driven by the serving engine.
+
+    Concrete caches implement the session hooks (``_begin_session``,
+    ``_commit_session`` and, when they pin state between the phases,
+    ``_abort_session``); the public surface — :meth:`begin`,
+    :meth:`begin_many`, and the deprecated :meth:`lookup`/:meth:`admit`
+    shims — is shared and final.
+    """
+
+    # Class-level defaults so subclasses need no cooperative __init__.
+    _open_sessions: int = 0
+    _live_sessions: Optional["weakref.WeakSet[RequestSession]"] = None
+    _mutating: bool = False  # True while a cache operation is in progress
+    _draining: bool = False  # reentrancy guard for the deferred-abort drain
+    _deferred_aborts: Optional[list["RequestSession"]] = None
+
+    # ------------------------------------------------------------------
+    # Session hooks (per-policy)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _begin_session(self, tokens: np.ndarray, now: float) -> RequestSession:
+        """Perform the prefill-time lookup/bookkeeping; return the open
+        session with its :class:`LookupResult` attached."""
 
     @abc.abstractmethod
+    def _commit_session(
+        self,
+        session: Optional[RequestSession],
+        tokens: np.ndarray,
+        now: float,
+        state_payload: Any = None,
+    ) -> AdmitResult:
+        """Admit a finished sequence.  ``session`` is ``None`` for a
+        detached admission (the legacy ``admit`` without a handle)."""
+
+    def _abort_session(self, session: RequestSession) -> None:
+        """Release per-request state pinned at begin time.  Default no-op:
+        baselines pin nothing between the two phases."""
+
+    def _attach_session(
+        self, session: RequestSession, position: int, payload: Any
+    ) -> None:
+        """Attach a materialized branch-checkpoint state.  Caches without
+        branch checkpoints reject every position."""
+        raise ValueError(f"no pending branch checkpoint at position {position}")
+
+    # ------------------------------------------------------------------
+    # Transactional surface
+    # ------------------------------------------------------------------
+    def begin(self, tokens: np.ndarray, now: float) -> RequestSession:
+        """Open a request session: lookup + prefill-time bookkeeping."""
+        self._mutating = True
+        try:
+            session = self._begin_session(tokens, now)
+        finally:
+            self._mutating = False
+            self._drain_deferred_aborts()
+        self._register_session(session)
+        return session
+
+    def begin_many(
+        self, token_seqs: Sequence[np.ndarray], now: float
+    ) -> list[RequestSession]:
+        """Open one session per input sequence, in order, at time ``now``.
+
+        Batch entry point for iteration-level scheduling: the engine can
+        start every request of one scheduler step in a single call.  The
+        batch is all-or-nothing: if any begin fails, the sessions already
+        opened are aborted before the error propagates, so a bad request
+        cannot leak its batchmates' pins.
+        """
+        sessions: list[RequestSession] = []
+        try:
+            for tokens in token_seqs:
+                sessions.append(self.begin(tokens, now))
+        except BaseException:
+            for session in sessions:
+                session.abort()
+            raise
+        return sessions
+
+    @property
+    def open_sessions(self) -> int:
+        """Sessions begun and not yet committed/aborted (in-flight requests)."""
+        return self._open_sessions
+
+    def _register_session(self, session: RequestSession) -> None:
+        if self._live_sessions is None:
+            self._live_sessions = weakref.WeakSet()
+        self._live_sessions.add(session)
+        self._open_sessions += 1
+
+    def _session_closed(self, session: RequestSession) -> None:
+        self._open_sessions = max(0, self._open_sessions - 1)
+        if self._live_sessions is not None:
+            self._live_sessions.discard(session)
+
+    def _on_session_gc(self, session: RequestSession) -> None:
+        """GC safety net for a dropped open session.
+
+        Aborting performs structural rollback, which must not reenter a
+        cache operation already on the stack (the cyclic GC can fire during
+        any allocation, including mid-``insert``).  When the cache is
+        quiescent the abort runs inline; otherwise the session is
+        resurrected onto a deferred list drained at the next begin/commit.
+        """
+        if self._mutating:
+            if self._deferred_aborts is None:
+                self._deferred_aborts = []
+            self._deferred_aborts.append(session)
+        else:
+            session.abort()
+
+    def _drain_deferred_aborts(self) -> None:
+        """Abort sessions parked by :meth:`_on_session_gc`.
+
+        Runs at the end of every cache operation (the only windows in
+        which deferral can happen), so stale pins cannot outlive the
+        operation whose GC pause parked them.  Guarded against reentry:
+        the drain's own aborts drain nothing recursively.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._deferred_aborts:
+                self._deferred_aborts.pop().abort()
+        finally:
+            self._draining = False
+
+    def detach_open_sessions(self) -> None:
+        """Orphan every open session (the close-on-reset safety net).
+
+        Called by ``reset()`` implementations: the cache state the sessions
+        pinned is being dropped wholesale, so aborting them against the new
+        state would corrupt accounting — instead they become inert.
+        """
+        if self._live_sessions is not None:
+            for session in list(self._live_sessions):
+                session._detach()
+            self._live_sessions.clear()
+        if self._deferred_aborts:
+            for session in self._deferred_aborts:
+                session._detach()
+            self._deferred_aborts.clear()
+        self._open_sessions = 0
+
+    # ------------------------------------------------------------------
+    # Deprecated two-phase shims (implemented on top of sessions)
+    # ------------------------------------------------------------------
     def lookup(self, tokens: np.ndarray, now: float) -> LookupResult:
-        """Find the longest reusable prefix of ``tokens`` at time ``now``."""
+        """Deprecated: use :meth:`begin`.
 
-    @abc.abstractmethod
+        Thin shim over the session API: opens a session and returns its
+        :class:`LookupResult` with ``handle`` set to the session.  The GC
+        abort net is disarmed so dropping the result without admitting
+        behaves exactly as the legacy API did (state stays pinned until
+        ``reset()``); new code should use sessions and get leak safety.
+        """
+        session = self.begin(tokens, now)
+        session._gc_abort = False
+        result = session.result
+        result.handle = session
+        return result
+
     def admit(
         self,
         tokens: np.ndarray,
@@ -95,8 +447,31 @@ class PrefixCache(abc.ABC):
         handle: Any = None,
         state_payload: Any = None,
     ) -> AdmitResult:
-        """Admit a finished sequence (input + output tokens) at time ``now``."""
+        """Deprecated: use :meth:`RequestSession.commit`.
 
+        Thin shim over the session API: commits the session carried by
+        ``handle``, or performs a detached admission when ``handle`` is
+        ``None``.  One intentional departure from the legacy contract:
+        admitting a handle whose cache was ``reset()`` in between raises
+        (the session is detached) instead of silently re-admitting into
+        the rebuilt cache against a stale handle.
+        """
+        if handle is None:
+            self._mutating = True
+            try:
+                return self._commit_session(None, tokens, now, state_payload)
+            finally:
+                self._mutating = False
+                self._drain_deferred_aborts()
+        if not isinstance(handle, RequestSession):
+            raise TypeError(f"handle must come from lookup(), got {type(handle)!r}")
+        if handle.cache is not self:
+            raise TypeError("handle came from a different cache instance")
+        return handle.commit(tokens, now, state_payload=state_payload)
+
+    # ------------------------------------------------------------------
+    # Capacity / accounting surface
+    # ------------------------------------------------------------------
     @property
     @abc.abstractmethod
     def capacity_bytes(self) -> int:
@@ -114,7 +489,11 @@ class PrefixCache(abc.ABC):
 
     @abc.abstractmethod
     def reset(self) -> None:
-        """Drop all cached state and zero the counters."""
+        """Drop all cached state and zero the counters.
+
+        Implementations must also call :meth:`detach_open_sessions` so
+        outstanding sessions cannot mutate the rebuilt state.
+        """
 
     # ------------------------------------------------------------------
     # Shared conveniences
@@ -130,6 +509,41 @@ class PrefixCache(abc.ABC):
         if self.capacity_bytes == 0:
             return 0.0
         return self.used_bytes / self.capacity_bytes
+
+
+@runtime_checkable
+class CacheProtocol(Protocol):
+    """Structural type the serving engines require of any cache.
+
+    The one runtime-checkable source of truth (re-exported by
+    :mod:`repro.baselines.base` for backwards compatibility): the session
+    API plus the deprecated two-phase shims and capacity accounting.
+    """
+
+    def begin(self, tokens: np.ndarray, now: float) -> RequestSession: ...
+
+    def begin_many(
+        self, token_seqs: Sequence[np.ndarray], now: float
+    ) -> list[RequestSession]: ...
+
+    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult: ...
+
+    def admit(
+        self,
+        tokens: np.ndarray,
+        now: float,
+        handle: Any = None,
+        state_payload: Any = None,
+    ) -> AdmitResult: ...
+
+    @property
+    def open_sessions(self) -> int: ...
+
+    @property
+    def capacity_bytes(self) -> int: ...
+
+    @property
+    def used_bytes(self) -> int: ...
 
 
 def as_token_array(tokens: Any) -> np.ndarray:

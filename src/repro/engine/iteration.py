@@ -30,11 +30,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import CacheProtocol
+from repro.baselines.base import CacheProtocol, RequestSession
 from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
 from repro.engine.results import RequestRecord
@@ -63,14 +63,24 @@ class IterationConfig:
 @dataclass
 class _PrefillJob:
     request: EngineRequest
-    handle: Any = None
-    hit_tokens: int = 0
-    reused_bytes: int = 0
-    reused_secondary_bytes: int = 0
+    session: Optional[RequestSession] = None
     position: int = 0  # tokens already processed (including the hit)
     started: bool = False
     service_start: float = 0.0
     compute_seconds: float = 0.0
+
+    # The lookup outcome lives on the session (zero until begin runs).
+    @property
+    def hit_tokens(self) -> int:
+        return self.session.hit_tokens if self.session is not None else 0
+
+    @property
+    def reused_bytes(self) -> int:
+        return self.session.reused_bytes if self.session is not None else 0
+
+    @property
+    def reused_secondary_bytes(self) -> int:
+        return self.session.reused_secondary_bytes if self.session is not None else 0
 
     @property
     def remaining(self) -> int:
@@ -80,7 +90,7 @@ class _PrefillJob:
 @dataclass
 class _DecodeJob:
     request: EngineRequest
-    handle: Any
+    session: RequestSession
     produced: int = 0
     last_token_time: float = 0.0
     gaps: list[float] = field(default_factory=list)
@@ -203,16 +213,11 @@ class IterationSimulator:
             if prefill_queue:
                 job = prefill_queue[0]
                 if not job.started:
-                    lookup = self.cache.lookup(job.request.input_tokens, now)
+                    session = self.cache.begin(job.request.input_tokens, now)
                     job.started = True
                     job.service_start = now
-                    job.handle = lookup.handle
-                    job.hit_tokens = lookup.hit_tokens
-                    job.reused_bytes = lookup.reused_bytes
-                    job.reused_secondary_bytes = getattr(
-                        lookup, "reused_secondary_bytes", 0
-                    )
-                    job.position = lookup.hit_tokens
+                    job.session = session
+                    job.position = session.hit_tokens
                 chunk = min(self.config.token_budget, job.remaining)
 
             duration = self.config.iteration_overhead_s
@@ -266,7 +271,7 @@ class IterationSimulator:
                     decodes.append(
                         _DecodeJob(
                             request=job.request,
-                            handle=job.handle,
+                            session=job.session,
                             produced=1,
                             last_token_time=now,
                         )
@@ -280,7 +285,7 @@ class IterationSimulator:
         return result
 
     def _complete(self, stream: _DecodeJob, now, arrivals, sessions_by_id) -> None:
-        self.cache.admit(stream.request.full_tokens, now, handle=stream.handle)
+        stream.session.commit(stream.request.full_tokens, now)
         session = sessions_by_id[stream.request.session_id]
         next_round = stream.request.round_index + 1
         if next_round < session.n_rounds:

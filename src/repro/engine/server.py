@@ -18,9 +18,9 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Optional
 
-from repro.baselines.base import CacheProtocol
+from repro.baselines.base import CacheProtocol, RequestSession
 from repro.engine.events import EventKind, EventQueue
 from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
@@ -33,9 +33,7 @@ from repro.workloads.trace import Trace, TraceSession
 @dataclass
 class _InFlight:
     request: EngineRequest
-    handle: Any
-    hit_tokens: int
-    reused_bytes: int
+    session: RequestSession  # lookup outcome (hit/reused bytes) lives here
     service_start: float
     prefill_seconds: float
 
@@ -83,25 +81,31 @@ class ServingSimulator:
 
         def start_next(now: float) -> None:
             nonlocal free_executors
-            while free_executors > 0 and queue:
-                request = queue.popleft()
-                lookup = self.cache.lookup(request.input_tokens, now)
+            n_start = min(free_executors, len(queue))
+            if n_start <= 0:
+                return
+            # All requests admitted this scheduler step begin at the same
+            # instant, so their sessions open as one batch (each still pays
+            # its own FLOP-derived prefill duration below).
+            batch = [queue.popleft() for _ in range(n_start)]
+            sessions = self.cache.begin_many(
+                [request.input_tokens for request in batch], now
+            )
+            free_executors -= n_start
+            for request, session in zip(batch, sessions):
                 prefill_seconds = self.latency.prefill_seconds(
                     self.model,
                     seq_len=request.input_len,
-                    reused_len=lookup.hit_tokens,
-                    reused_bytes=lookup.reused_bytes,
-                    secondary_bytes=getattr(lookup, "reused_secondary_bytes", 0),
+                    reused_len=session.hit_tokens,
+                    reused_bytes=session.reused_bytes,
+                    secondary_bytes=session.reused_secondary_bytes,
                 )
-                free_executors -= 1
                 push(
                     now + prefill_seconds,
                     EventKind.PREFILL_DONE,
                     _InFlight(
                         request=request,
-                        handle=lookup.handle,
-                        hit_tokens=lookup.hit_tokens,
-                        reused_bytes=lookup.reused_bytes,
+                        session=session,
                         service_start=now,
                         prefill_seconds=prefill_seconds,
                     ),
@@ -126,10 +130,12 @@ class ServingSimulator:
                         prefill_seconds=flight.prefill_seconds,
                         ttft=now - request.arrival_time,
                         input_len=request.input_len,
-                        hit_tokens=flight.hit_tokens,
+                        hit_tokens=flight.session.hit_tokens,
                         output_len=request.output_len,
-                        reused_bytes=flight.reused_bytes,
-                        flops_saved=model_prefill_flops(self.model, flight.hit_tokens),
+                        reused_bytes=flight.session.reused_bytes,
+                        flops_saved=model_prefill_flops(
+                            self.model, flight.session.hit_tokens
+                        ),
                     )
                 )
                 free_executors += 1
@@ -142,7 +148,7 @@ class ServingSimulator:
             else:  # REQUEST_COMPLETE
                 flight = event.payload
                 request = flight.request
-                self.cache.admit(request.full_tokens, now, handle=flight.handle)
+                flight.session.commit(request.full_tokens, now)
                 session = sessions_by_id[request.session_id]
                 next_round = request.round_index + 1
                 if next_round < session.n_rounds:

@@ -39,8 +39,8 @@ TBT_POLICIES = ("vanilla", "vllm+", "sglang+", "marconi")
 
 def _nominal_replay(cache, trace) -> float:
     for now, _, _, inp, full in trace.iter_requests_nominal():
-        result = cache.lookup(inp, now)
-        cache.admit(full, now, handle=result.handle)
+        with cache.begin(inp, now) as session:
+            session.commit(full, now)
     return cache.stats.token_hit_rate
 
 

@@ -8,12 +8,14 @@ bit for bit.
 
 Flow per request (mirroring section 4):
 
-1. ``cache.lookup`` — finds the deepest reusable checkpoint, commits the
+1. ``cache.begin`` — finds the deepest reusable checkpoint, commits the
    input path, and reports any branch-point positions to materialize.
 2. Prefill from the reused state with ``checkpoint_positions`` set to the
-   branch points; attach the materialized states to the cache.
+   branch points; attach the materialized states to the session.
 3. Greedy decode.
-4. ``cache.admit`` with the final state as the last-decoded-token payload.
+4. ``session.commit`` with the final state as the last-decoded-token
+   payload.  The ``with`` block aborts the session — unpinning the path
+   and rolling back the speculative insert — if any step fails.
 """
 
 from __future__ import annotations
@@ -71,47 +73,46 @@ class ExactReuseServer:
         return self._clock
 
     def serve(self, input_tokens: np.ndarray, n_output: int) -> ServedRequest:
-        """Serve one request: lookup, prefill (with checkpoints), decode, admit."""
+        """Serve one request: begin, prefill (with checkpoints), decode, commit."""
         input_tokens = as_token_array(input_tokens)
-        lookup = self.cache.lookup(input_tokens, self._now())
+        with self.cache.begin(input_tokens, self._now()) as session:
+            hit = session.hit_tokens
+            payload: ModelState | None = session.state_payload
+            if hit > 0 and payload is None:
+                # The checkpoint's payload is unavailable (e.g. admitted
+                # without states); fall back to a full prefill —
+                # correctness first.
+                hit = 0
+            state = payload.clone() if (hit > 0 and payload is not None) else None
 
-        hit = lookup.hit_tokens
-        payload: ModelState | None = lookup.state_payload
-        if hit > 0 and payload is None:
-            # The checkpoint's payload is unavailable (e.g. admitted without
-            # states); fall back to a full prefill — correctness first.
-            hit = 0
-        state = payload.clone() if (hit > 0 and payload is not None) else None
+            # Branch points the admission policy asked us to materialize.
+            # In chunked mode a checkpoint may land before the requested
+            # position; only exact matches are attachable.
+            # chunked_rollforward closes the gap (the paper's optional
+            # roll-forward kernel) by rolling the snapped state forward to
+            # the exact position.
+            positions = tuple(p for p in session.checkpoint_positions if p > hit)
+            result = self.model.prefill(
+                input_tokens[hit:],
+                state,
+                checkpoint_positions=positions,
+                mode=self.prefill_mode,
+                chunk_size=self.chunk_size,
+            )
+            for position, checkpoint in result.checkpoints.items():
+                if position in positions:
+                    session.attach_branch_state(position, checkpoint)
 
-        # Branch points the admission policy asked us to materialize.  In
-        # chunked mode a checkpoint may land before the requested position;
-        # only exact matches are attachable.  chunked_rollforward closes
-        # the gap (the paper's optional roll-forward kernel) by rolling the
-        # snapped state forward to the exact position.
-        positions = tuple(p for p in lookup.checkpoint_positions if p > hit)
-        result = self.model.prefill(
-            input_tokens[hit:],
-            state,
-            checkpoint_positions=positions,
-            mode=self.prefill_mode,
-            chunk_size=self.chunk_size,
-        )
-        for position, checkpoint in result.checkpoints.items():
-            if position in positions:
-                self.cache.attach_branch_state(lookup.handle, position, checkpoint)
-
-        logits = result.logits[-1]
-        current = result.state
-        output = []
-        for _ in range(n_output):
-            token = greedy_token(logits)
-            output.append(token)
-            logits, current = self.model.decode_step(token, current)
-        output_tokens = np.asarray(output, dtype=np.int32)
-        full = np.concatenate([input_tokens, output_tokens])
-        self.cache.admit(
-            full, self._now(), handle=lookup.handle, state_payload=current.clone()
-        )
+            logits = result.logits[-1]
+            current = result.state
+            output = []
+            for _ in range(n_output):
+                token = greedy_token(logits)
+                output.append(token)
+                logits, current = self.model.decode_step(token, current)
+            output_tokens = np.asarray(output, dtype=np.int32)
+            full = np.concatenate([input_tokens, output_tokens])
+            session.commit(full, self._now(), state_payload=current.clone())
         return ServedRequest(
             output_tokens=output_tokens,
             hit_tokens=hit,

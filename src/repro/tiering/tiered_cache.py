@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.core.cache import MarconiCache
 from repro.core.eviction import EvictionCandidate
-from repro.core.interfaces import LookupResult, as_token_array
+from repro.core.interfaces import as_token_array
 from repro.models.config import ModelConfig
 from repro.models.flops import model_prefill_flops
 from repro.models.memory import (
@@ -115,9 +115,9 @@ class TieredMarconiCache(MarconiCache):
         super()._apply_eviction(victim)
 
     # ------------------------------------------------------------------
-    # Promotion (lookup hook)
+    # Promotion (begin hook)
     # ------------------------------------------------------------------
-    def lookup(self, tokens: np.ndarray, now: float) -> LookupResult:
+    def _begin_session(self, tokens: np.ndarray, now: float):
         tokens = as_token_array(tokens)
         if len(tokens) == 0:
             raise ValueError("cannot look up an empty token sequence")
@@ -131,14 +131,15 @@ class TieredMarconiCache(MarconiCache):
                 if self._promote(entry, now):
                     promoted = entry
 
-        result = super().lookup(tokens, now)
+        session = super()._begin_session(tokens, now)
         if promoted is not None:
             # The whole reused state came out of the second tier.
+            result = session.result
             result.reused_secondary_bytes = min(promoted.nbytes, result.reused_bytes)
             self._stats.extra["secondary_hits"] = (
                 self._stats.extra.get("secondary_hits", 0) + 1
             )
-        return result
+        return session
 
     def _promote(self, entry: SecondaryEntry, now: float) -> bool:
         """Re-admit a demoted checkpoint into the primary tree.

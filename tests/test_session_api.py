@@ -1,0 +1,367 @@
+"""Session-API semantics: lifecycle, legacy-shim identity, and leak safety.
+
+Covers the transactional request-session surface:
+
+* the legacy ``lookup``/``admit`` shims are byte-identical to driving
+  ``begin``/``commit`` directly (property-tested over random traces),
+* the lifecycle state machine (double-commit, commit-after-abort,
+  abort-after-commit, detach-on-reset) behaves as documented,
+* aborts — including abort storms under eviction pressure and interleaved
+  with committing requests — leave zero pinned nodes, ``open_sessions == 0``,
+  and intact accounting (``used_bytes == recompute_used_bytes()``).
+"""
+
+import gc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.vanilla import VanillaCache
+from repro.baselines.vllm_plus import VLLMPlusCache
+from repro.core.cache import MarconiCache, MarconiSession
+from repro.core.interfaces import CacheProtocol, RequestSession, SessionState
+from repro.models.presets import tiny_test_model
+from repro.tiering.tiered_cache import TieredMarconiCache
+
+# Small alphabet makes prefix collisions (splits, extensions) likely.
+token_seq = st.lists(st.integers(0, 3), min_size=1, max_size=24)
+
+
+@st.composite
+def request_stream(draw, min_size=2, max_size=14):
+    """A list of (input, output) pairs with organic prefix sharing."""
+    n = draw(st.integers(min_size, max_size))
+    requests = []
+    history: list[list[int]] = []
+    for _ in range(n):
+        if history and draw(st.booleans()):
+            base = draw(st.sampled_from(history))
+            cut = draw(st.integers(1, len(base)))
+            inp = base[:cut] + draw(token_seq)
+        else:
+            inp = draw(token_seq)
+        out = draw(token_seq)
+        requests.append((inp, out))
+        history.append(inp + out)
+    return requests
+
+
+def _arr(seq) -> np.ndarray:
+    return np.asarray(seq, dtype=np.int32)
+
+
+def _make_cache(kind: str, capacity: int):
+    model = tiny_test_model()
+    if kind == "marconi":
+        return MarconiCache(model, capacity, alpha=1.0)
+    if kind == "tiered":
+        return TieredMarconiCache(model, capacity, capacity * 4, alpha=1.0)
+    if kind == "vllm+":
+        return VLLMPlusCache(model, capacity, block_size=4)
+    if kind == "vanilla":
+        return VanillaCache(model)
+    raise KeyError(kind)
+
+
+CACHE_KINDS = ("marconi", "tiered", "vllm+", "vanilla")
+
+
+class TestLegacyShimIdentity:
+    """lookup/admit must be indistinguishable from begin/commit."""
+
+    @pytest.mark.parametrize("kind", CACHE_KINDS)
+    @given(requests=request_stream(), capacity_kb=st.integers(1, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_replay_stats_byte_identical(self, kind, requests, capacity_kb):
+        legacy = _make_cache(kind, capacity_kb * 1024)
+        modern = _make_cache(kind, capacity_kb * 1024)
+        for i, (inp, out) in enumerate(requests):
+            arr_in, arr_full = _arr(inp), _arr(inp + out)
+            r = legacy.lookup(arr_in, float(i))
+            legacy.admit(arr_full, float(i) + 0.5, handle=r.handle)
+            with modern.begin(arr_in, float(i)) as session:
+                assert session.hit_tokens == r.hit_tokens
+                assert session.reused_bytes == r.reused_bytes
+                assert session.checkpoint_positions == r.checkpoint_positions
+                session.commit(arr_full, float(i) + 0.5)
+        assert legacy.stats.snapshot() == modern.stats.snapshot()
+        assert legacy.used_bytes == modern.used_bytes
+        assert legacy.open_sessions == 0 and modern.open_sessions == 0
+
+    @given(requests=request_stream(), capacity_kb=st.integers(1, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_replay_tree_identical(self, requests, capacity_kb):
+        """Beyond stats: the radix trees end structurally identical."""
+        legacy = _make_cache("marconi", capacity_kb * 1024)
+        modern = _make_cache("marconi", capacity_kb * 1024)
+        for i, (inp, out) in enumerate(requests):
+            arr_in, arr_full = _arr(inp), _arr(inp + out)
+            r = legacy.lookup(arr_in, float(i))
+            legacy.admit(arr_full, float(i) + 0.5, handle=r.handle)
+            session = modern.begin(arr_in, float(i))
+            session.commit(arr_full, float(i) + 0.5)
+
+        def shape(tree):
+            return sorted(
+                (tuple(n.path_tokens().tolist()), n.has_ssm_state)
+                for n in tree.iter_nodes()
+            )
+
+        assert shape(legacy.tree) == shape(modern.tree)
+
+    def test_lookup_handle_is_the_session(self):
+        cache = _make_cache("marconi", 1 << 20)
+        r = cache.lookup(_arr([1, 2, 3]), 0.0)
+        assert isinstance(r.handle, RequestSession)
+        assert r.handle.is_open
+        cache.admit(_arr([1, 2, 3, 4]), 0.5, handle=r.handle)
+        assert r.handle.is_committed
+
+    def test_dropped_lookup_handle_preserves_legacy_pin(self):
+        """The deprecated shim must keep the legacy drop-the-handle
+        behaviour: the path stays charged and pinned (no GC abort)."""
+        cache = _make_cache("marconi", 1 << 24)
+        cache.lookup(_arr(list(range(20))), 0.0)
+        gc.collect()
+        assert cache.used_bytes > 0
+        assert any(n.is_pinned for n in cache.tree.iter_nodes())
+        assert cache.open_sessions == 1  # the faithful leak, now observable
+
+
+class TestLifecycle:
+    def test_commit_closes_and_double_commit_raises(self):
+        cache = _make_cache("marconi", 1 << 20)
+        session = cache.begin(_arr([1, 2, 3]), 0.0)
+        assert cache.open_sessions == 1
+        session.commit(_arr([1, 2, 3, 4]), 0.5)
+        assert session.state is SessionState.COMMITTED
+        assert cache.open_sessions == 0
+        with pytest.raises(ValueError, match="already admitted"):
+            session.commit(_arr([1, 2, 3, 4]), 1.0)
+
+    def test_commit_after_abort_raises(self):
+        cache = _make_cache("marconi", 1 << 20)
+        session = cache.begin(_arr([1, 2, 3]), 0.0)
+        session.abort()
+        assert session.is_aborted
+        with pytest.raises(ValueError, match="aborted"):
+            session.commit(_arr([1, 2, 3, 4]), 0.5)
+
+    def test_abort_is_idempotent_and_safe_after_commit(self):
+        cache = _make_cache("marconi", 1 << 20)
+        session = cache.begin(_arr([1, 2, 3]), 0.0)
+        session.commit(_arr([1, 2, 3, 4]), 0.5)
+        session.abort()  # no-op
+        assert session.is_committed
+        other = cache.begin(_arr([7, 8]), 1.0)
+        other.abort()
+        other.abort()  # idempotent
+        assert other.is_aborted
+        assert cache.open_sessions == 0
+
+    def test_context_manager_aborts_on_exception(self):
+        cache = _make_cache("marconi", 1 << 24)
+        with pytest.raises(RuntimeError):
+            with cache.begin(_arr(list(range(12))), 0.0) as session:
+                raise RuntimeError("prefill executor died")
+        assert session.is_aborted
+        assert cache.open_sessions == 0
+        assert all(n.pin_count == 0 for n in cache.tree.iter_nodes())
+        assert cache.used_bytes == cache.recompute_used_bytes()
+
+    def test_context_manager_commit_wins(self):
+        cache = _make_cache("marconi", 1 << 24)
+        with cache.begin(_arr([1, 2, 3]), 0.0) as session:
+            session.commit(_arr([1, 2, 3, 4]), 0.5)
+        assert session.is_committed
+
+    def test_gc_of_begin_session_aborts(self):
+        cache = _make_cache("marconi", 1 << 24)
+        cache.begin(_arr(list(range(16))), 0.0)  # dropped immediately
+        gc.collect()
+        assert cache.open_sessions == 0
+        assert all(n.pin_count == 0 for n in cache.tree.iter_nodes())
+        assert cache.used_bytes == cache.recompute_used_bytes()
+
+    def test_gc_mid_operation_defers_abort_to_next_entry(self):
+        """A session collected while the cache is mid-operation must not
+        roll back reentrantly; it parks on the deferred list and drains at
+        the next begin/commit."""
+        cache = _make_cache("marconi", 1 << 24)
+        session = cache.begin(_arr(list(range(16))), 0.0)
+        cache._mutating = True  # simulate GC firing inside an operation
+        del session
+        gc.collect()
+        cache._mutating = False
+        assert cache._deferred_aborts, "session should be parked, not aborted"
+        assert any(n.is_pinned for n in cache.tree.iter_nodes())
+        cache.begin(_arr([7, 8]), 1.0).abort()  # next operation drains the backlog
+        assert not cache._deferred_aborts
+        assert cache.open_sessions == 0
+        assert all(n.pin_count == 0 for n in cache.tree.iter_nodes())
+        assert cache.used_bytes == cache.recompute_used_bytes()
+
+    def test_admit_rejects_foreign_cache_handle(self):
+        """A handle must be admitted into the cache that issued it."""
+        issuer = _make_cache("marconi", 1 << 20)
+        other = _make_cache("marconi", 1 << 20)
+        r = issuer.lookup(_arr([1, 2, 3]), 0.0)
+        with pytest.raises(TypeError, match="different cache"):
+            other.admit(_arr([1, 2, 3, 4]), 0.5, handle=r.handle)
+        assert r.handle.is_open  # the mix-up must not close the session
+        issuer.admit(_arr([1, 2, 3, 4]), 1.0, handle=r.handle)
+
+    def test_reset_detaches_open_sessions(self):
+        cache = _make_cache("marconi", 1 << 24)
+        session = cache.begin(_arr([1, 2, 3]), 0.0)
+        cache.reset()
+        assert cache.open_sessions == 0
+        assert session.state is SessionState.DETACHED
+        with pytest.raises(ValueError, match="reset"):
+            session.commit(_arr([1, 2, 3, 4]), 0.5)
+        session.abort()  # inert, must not touch the rebuilt tree
+        assert cache.used_bytes == 0 == cache.recompute_used_bytes()
+
+    def test_attach_requires_open_session(self):
+        cache = MarconiCache(tiny_test_model(), 1 << 24, alpha=1.0, store_states=True)
+        session = cache.begin(_arr([1, 2, 3]), 0.0)
+        session.commit(_arr([1, 2, 3, 4]), 0.5)
+        with pytest.raises(ValueError, match="committed"):
+            session.attach_branch_state(3, {"state": 1})
+
+    def test_begin_many_orders_and_counts(self):
+        cache = _make_cache("marconi", 1 << 24)
+        seqs = [_arr([1, 2, 3]), _arr([1, 2, 9]), _arr([4, 5])]
+        sessions = cache.begin_many(seqs, 0.0)
+        assert len(sessions) == 3
+        assert cache.open_sessions == 3
+        for session, seq in zip(sessions, seqs):
+            assert session.input_tokens == len(seq)
+            session.commit(np.concatenate([seq, _arr([11])]), 1.0)
+        assert cache.open_sessions == 0
+
+    @pytest.mark.parametrize("kind", CACHE_KINDS)
+    def test_every_cache_satisfies_protocol(self, kind):
+        cache = _make_cache(kind, 1 << 20)
+        assert isinstance(cache, CacheProtocol)
+
+    def test_marconi_session_type(self):
+        cache = _make_cache("marconi", 1 << 20)
+        session = cache.begin(_arr([1, 2]), 0.0)
+        assert isinstance(session, MarconiSession)
+        session.abort()
+
+
+class TestAbortRollback:
+    def test_abort_releases_pins_and_rolls_back_insert(self):
+        cache = _make_cache("marconi", 1 << 24)
+        session = cache.begin(_arr(list(range(30))), 0.0)
+        assert cache.used_bytes > 0
+        session.abort()
+        assert cache.used_bytes == 0
+        assert cache.tree.n_nodes == 0
+        assert all(n.pin_count == 0 for n in cache.tree.iter_nodes())
+
+    def test_abort_keeps_shared_prefix_intact(self):
+        """Aborting one request must not damage paths other requests
+        committed (or still hold open) on the shared prefix."""
+        cache = _make_cache("marconi", 1 << 24)
+        shared = list(range(10))
+        with cache.begin(_arr(shared + [91, 92]), 0.0) as first:
+            first.commit(_arr(shared + [91, 92, 93]), 0.5)
+        used_before = cache.used_bytes
+        victim = cache.begin(_arr(shared + [77, 78]), 1.0)
+        victim.abort()
+        assert cache.used_bytes == used_before == cache.recompute_used_bytes()
+        # The committed path still fully matches.
+        assert cache.tree.match(_arr(shared + [91, 92, 93])).matched_len == 13
+        cache.tree.check_integrity()
+
+    def test_abort_preserves_extension_built_on_our_edge(self):
+        """If another session grew a path through our speculative leaf,
+        abort must leave the now-shared tokens in place."""
+        cache = _make_cache("marconi", 1 << 24)
+        ours = cache.begin(_arr([1, 2, 3, 4]), 0.0)
+        with cache.begin(_arr([1, 2, 3, 4, 5, 6]), 1.0) as theirs:
+            theirs.commit(_arr([1, 2, 3, 4, 5, 6, 7]), 1.5)
+        ours.abort()
+        assert all(n.pin_count == 0 for n in cache.tree.iter_nodes())
+        assert cache.used_bytes == cache.recompute_used_bytes()
+        assert cache.tree.match(_arr([1, 2, 3, 4, 5, 6, 7])).matched_len == 7
+        cache.tree.check_integrity()
+
+    def test_abort_storm_leaves_no_pins(self):
+        """The regression for the seed's pin leak: a storm of sessions
+        aborted under eviction pressure leaves zero pinned nodes and zero
+        open sessions."""
+        model = tiny_test_model()
+        cache = MarconiCache(model, capacity_bytes=64 * 1024, alpha=1.0)
+        rng = np.random.default_rng(7)
+        history = []
+        for i in range(200):
+            if history and rng.random() < 0.5:
+                base = history[rng.integers(len(history))]
+                cut = int(rng.integers(1, len(base) + 1))
+                inp = list(base[:cut]) + rng.integers(0, 4, size=6).tolist()
+            else:
+                inp = rng.integers(0, 4, size=int(rng.integers(4, 40))).tolist()
+            session = cache.begin(_arr(inp), float(i))
+            if rng.random() < 0.6:
+                session.abort()
+            else:
+                full = inp + rng.integers(0, 4, size=8).tolist()
+                session.commit(_arr(full), float(i) + 0.5)
+                history.append(full)
+            assert cache.used_bytes == cache.recompute_used_bytes()
+        assert cache.open_sessions == 0
+        assert all(n.pin_count == 0 for n in cache.tree.iter_nodes())
+        assert cache.stats.extra.get("aborted_sessions", 0) > 0
+        cache.tree.check_integrity()
+
+    @given(requests=request_stream(min_size=4, max_size=18), data=st.data(),
+           capacity_kb=st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_random_interleavings_keep_invariants(self, requests, data, capacity_kb):
+        """Arbitrary begin/commit/abort interleavings (with several
+        sessions in flight at once, under eviction pressure) preserve the
+        accounting invariant and end with no leaked pins."""
+        model = tiny_test_model()
+        cache = MarconiCache(model, capacity_bytes=capacity_kb * 1024, alpha=1.0)
+        open_sessions: list[tuple[list, MarconiSession]] = []
+        clock = 0.0
+        for inp, out in requests:
+            clock += 1.0
+            open_sessions.append((inp + out, cache.begin(_arr(inp), clock)))
+            while open_sessions and data.draw(st.booleans()):
+                index = data.draw(st.integers(0, len(open_sessions) - 1))
+                full, session = open_sessions.pop(index)
+                if data.draw(st.booleans()):
+                    session.abort()
+                else:
+                    clock += 1.0
+                    session.commit(_arr(full), clock)
+            assert cache.used_bytes == cache.recompute_used_bytes()
+            assert cache.used_bytes <= cache.capacity_bytes
+            cache.tree.check_integrity()
+        for full, session in open_sessions:
+            session.abort()
+        assert cache.open_sessions == 0
+        assert all(n.pin_count == 0 for n in cache.tree.iter_nodes())
+        assert cache.used_bytes == cache.recompute_used_bytes()
+
+    def test_tiered_abort_keeps_both_tiers_consistent(self):
+        model = tiny_test_model()
+        cache = TieredMarconiCache(model, 32 * 1024, 256 * 1024, alpha=1.0)
+        rng = np.random.default_rng(3)
+        for i in range(120):
+            inp = rng.integers(0, 4, size=int(rng.integers(4, 30))).tolist()
+            session = cache.begin(_arr(inp), float(i))
+            if i % 3 == 0:
+                session.abort()
+            else:
+                session.commit(_arr(inp + [1, 2, 3]), float(i) + 0.5)
+        assert cache.open_sessions == 0
+        assert all(n.pin_count == 0 for n in cache.tree.iter_nodes())
+        assert cache.used_bytes == cache.recompute_used_bytes()
+        assert cache.secondary_used_bytes <= cache.secondary.capacity_bytes
