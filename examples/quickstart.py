@@ -7,6 +7,16 @@ Demonstrates the two reuse classes from the paper's admission taxonomy:
 * purely-input reuse — distinct requests sharing a system prompt (the
   second occurrence checkpoints the branch, the third gets the hit).
 
+This file drives the cache directly with a hand-rolled clock.  For
+whole-trace replays under the analytic latency model, use the
+kernel-backed engine constructors instead — ``ServingSimulator`` /
+``simulate_trace`` (FCFS, ``n_executors`` concurrent prefill slots),
+``IterationSimulator`` / ``simulate_trace_iteration`` (chunked-prefill
+iteration batching, TBT tails), and ``ClusterSimulator`` /
+``simulate_cluster`` (N routed replicas) — all thin configurations of
+``repro.engine.kernel.SimulationKernel``; see ``examples/chatbot_serving.py``
+and ``examples/cluster_routing.py``.
+
 Run:  python examples/quickstart.py
 """
 

@@ -20,7 +20,16 @@ from repro.core import MarconiCache, RequestSession, SessionState
 from repro.analysis import clairvoyant_replay, classify_trace
 from repro.baselines import SGLangPlusCache, VanillaCache, VLLMPlusCache, make_cache
 from repro.cluster import make_router, simulate_cluster
-from repro.engine import LatencyModel, ServingSimulator, simulate_trace
+from repro.engine import (
+    IterationConfig,
+    IterationSimulator,
+    KernelConfig,
+    LatencyModel,
+    ServingSimulator,
+    SimulationKernel,
+    simulate_trace,
+    simulate_trace_iteration,
+)
 from repro.models import ModelConfig, hybrid_7b, mamba_7b, transformer_7b
 from repro.tiering import TieredMarconiCache
 from repro.workloads import (
@@ -49,9 +58,14 @@ __all__ = [
     "simulate_cluster",
     "clairvoyant_replay",
     "classify_trace",
+    "IterationConfig",
+    "IterationSimulator",
+    "KernelConfig",
     "LatencyModel",
     "ServingSimulator",
+    "SimulationKernel",
     "simulate_trace",
+    "simulate_trace_iteration",
     "ModelConfig",
     "hybrid_7b",
     "mamba_7b",

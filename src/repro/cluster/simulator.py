@@ -1,40 +1,34 @@
 """Discrete-event simulator for a cluster of cache-owning replicas.
 
-Each replica is one prefill executor with its own prefix cache (the Preble
-deployment model).  The router assigns requests at *arrival*; from there a
-request lives entirely on its replica: FCFS queueing, cache lookup at
-service start, background decode, admission at decode end, and closed-loop
-scheduling of the session's next round (which is routed afresh — a session
-can migrate if the router decides so).
+Each replica is a prefill executor (``max_running`` concurrent slots,
+default 1) with its own prefix cache (the Preble deployment model).  The
+router assigns requests at *arrival*; from there a request lives entirely
+on its replica: FCFS queueing, cache lookup at service start, background
+decode, admission at decode end, and closed-loop scheduling of the
+session's next round (which is routed afresh — a session can migrate if
+the router decides so).
+
+This simulator is an N-replica configuration of
+:class:`repro.engine.kernel.SimulationKernel` with one
+:class:`~repro.engine.kernel.ContinuousBatchingScheduler` per replica;
+the event loop, routing dispatch, and telemetry live in the kernel.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import CacheProtocol, RequestSession
-from repro.engine.events import EventKind, EventQueue
+from repro.core.interfaces import CacheProtocol
+from repro.engine.kernel import KernelConfig, SimulationKernel
 from repro.engine.latency import LatencyModel
-from repro.engine.request import EngineRequest
-from repro.engine.results import EngineResult, RequestRecord
+from repro.engine.results import EngineResult
 from repro.cluster.router import Router
 from repro.metrics.fairness import coefficient_of_variation, jain_fairness
 from repro.models.config import ModelConfig
-from repro.models.flops import model_prefill_flops
-from repro.workloads.trace import Trace, TraceSession
-
-
-@dataclass
-class _InFlight:
-    request: EngineRequest
-    replica: int
-    session: RequestSession  # lookup outcome (hit/reused bytes) lives here
-    service_start: float
-    prefill_seconds: float
+from repro.workloads.trace import Trace
 
 
 @dataclass
@@ -91,6 +85,13 @@ class ClusterResult:
         """Coefficient of variation of per-replica busy time."""
         return coefficient_of_variation(self.busy_seconds)
 
+    def mean_executor_utilization(self) -> float:
+        """Mean per-replica executor utilization (time-weighted, 0..1)."""
+        if not self.replica_results:
+            return 0.0
+        values = [r.executor_utilization() for r in self.replica_results]
+        return float(np.mean(values))
+
 
 class ClusterSimulator:
     """Replays one trace through R replicas under one routing policy."""
@@ -101,6 +102,9 @@ class ClusterSimulator:
         caches: Sequence[CacheProtocol],
         router: Router,
         latency: Optional[LatencyModel] = None,
+        max_running: int = 1,
+        seed: int = 0,
+        record_timeseries: bool = True,
     ) -> None:
         if not caches:
             raise ValueError("need at least one replica cache")
@@ -108,136 +112,28 @@ class ClusterSimulator:
         self.caches = list(caches)
         self.router = router
         self.latency = latency or LatencyModel()
-        self._seq = itertools.count()
+        self.config = KernelConfig(
+            max_running=max_running, seed=seed, record_timeseries=record_timeseries
+        )
 
     def run(self, trace: Trace) -> ClusterResult:
         """Simulate the full trace across all replicas under the router."""
-        n = len(self.caches)
-        events = EventQueue(self._seq)
-        push = events.push
-        queues: list[list[EngineRequest]] = [[] for _ in range(n)]
-        busy = [False] * n
-        busy_seconds = [0.0] * n
-        routed_counts = [0] * n
-        results = [
-            EngineResult(policy=f"{self.router.name}/replica{i}") for i in range(n)
-        ]
-
-        def loads() -> list[int]:
-            return [len(queues[i]) + (1 if busy[i] else 0) for i in range(n)]
-
-        def start_next(replica: int, now: float) -> None:
-            if busy[replica] or not queues[replica]:
-                return
-            request = queues[replica].pop(0)
-            session = self.caches[replica].begin(request.input_tokens, now)
-            prefill_seconds = self.latency.prefill_seconds(
-                self.model,
-                seq_len=request.input_len,
-                reused_len=session.hit_tokens,
-                reused_bytes=session.reused_bytes,
-                secondary_bytes=session.reused_secondary_bytes,
-            )
-            busy[replica] = True
-            push(
-                now + prefill_seconds,
-                EventKind.PREFILL_DONE,
-                _InFlight(
-                    request=request,
-                    replica=replica,
-                    session=session,
-                    service_start=now,
-                    prefill_seconds=prefill_seconds,
-                ),
-            )
-
-        def admit_arrival(request: EngineRequest, now: float) -> None:
-            replica = self.router.route(
-                request.input_tokens, request.session_id, self.caches, loads(), now
-            )
-            if not 0 <= replica < n:
-                raise ValueError(
-                    f"router {self.router.name!r} returned invalid replica {replica}"
-                )
-            routed_counts[replica] += 1
-            queues[replica].append(request)
-            start_next(replica, now)
-
-        for session in trace.sessions:
-            push(
-                session.arrival_time,
-                EventKind.REQUEST_ARRIVAL,
-                self._make_request(session, 0, session.arrival_time),
-            )
-
-        sessions_by_id = {s.session_id: s for s in trace.sessions}
-        while events:
-            event = events.pop()
-            now = event.time
-            if event.kind == EventKind.REQUEST_ARRIVAL:
-                admit_arrival(event.payload, now)
-            elif event.kind == EventKind.PREFILL_DONE:
-                flight: _InFlight = event.payload
-                request = flight.request
-                results[flight.replica].records.append(
-                    RequestRecord(
-                        session_id=request.session_id,
-                        round_index=request.round_index,
-                        arrival_time=request.arrival_time,
-                        service_start=flight.service_start,
-                        prefill_seconds=flight.prefill_seconds,
-                        ttft=now - request.arrival_time,
-                        input_len=request.input_len,
-                        hit_tokens=flight.session.hit_tokens,
-                        output_len=request.output_len,
-                        reused_bytes=flight.session.reused_bytes,
-                        flops_saved=model_prefill_flops(
-                            self.model, flight.session.hit_tokens
-                        ),
-                    )
-                )
-                busy_seconds[flight.replica] += flight.prefill_seconds
-                busy[flight.replica] = False
-                push(
-                    now + self.latency.decode_seconds(request.output_len),
-                    EventKind.REQUEST_COMPLETE,
-                    flight,
-                )
-                start_next(flight.replica, now)
-            else:  # REQUEST_COMPLETE
-                flight = event.payload
-                request = flight.request
-                flight.session.commit(request.full_tokens, now)
-                session = sessions_by_id[request.session_id]
-                next_round = request.round_index + 1
-                if next_round < session.n_rounds:
-                    arrival = now + session.think_times[next_round]
-                    push(
-                        arrival,
-                        EventKind.REQUEST_ARRIVAL,
-                        self._make_request(session, next_round, arrival),
-                    )
-
-        for index, cache in enumerate(self.caches):
-            if hasattr(cache, "stats"):
-                results[index].cache_stats = cache.stats.snapshot()
+        kernel = SimulationKernel(
+            self.model,
+            self.caches,
+            self.latency,
+            router=self.router,
+            config=self.config,
+            policy_names=[
+                f"{self.router.name}/replica{i}" for i in range(len(self.caches))
+            ],
+        )
+        run = kernel.run(trace)
         return ClusterResult(
             router=self.router.name,
-            replica_results=results,
-            routed_counts=routed_counts,
-            busy_seconds=busy_seconds,
-        )
-
-    @staticmethod
-    def _make_request(
-        session: TraceSession, round_index: int, arrival: float
-    ) -> EngineRequest:
-        return EngineRequest(
-            session_id=session.session_id,
-            round_index=round_index,
-            arrival_time=arrival,
-            input_tokens=session.full_input(round_index),
-            full_tokens=session.full_sequence(round_index),
+            replica_results=run.replica_results,
+            routed_counts=run.routed_counts,
+            busy_seconds=run.busy_seconds,
         )
 
 
@@ -247,6 +143,7 @@ def simulate_cluster(
     router: Router,
     trace: Trace,
     latency: Optional[LatencyModel] = None,
+    max_running: int = 1,
 ) -> ClusterResult:
     """One-call convenience wrapper around :class:`ClusterSimulator`."""
-    return ClusterSimulator(model, caches, router, latency).run(trace)
+    return ClusterSimulator(model, caches, router, latency, max_running).run(trace)

@@ -1,11 +1,18 @@
-"""Discrete-event serving simulator with an analytic latency model.
+"""Discrete-event serving simulators with an analytic latency model.
 
-The simulator replays a trace against one cache policy and produces
-per-request records (TTFT, queue delay, hit tokens, FLOPs saved).  Prefills
-are served FCFS by 1..N compute-bound executors sharing the cache; decode runs in the
-background (batched decode does not block the prefill queue, the standard
-approximation for throughput-oriented engines) and gates the arrival of the
-session's next round: closed-loop within sessions, open-loop across them.
+All engines are thin configurations of the unified simulation kernel in
+:mod:`repro.engine.kernel` (event queue, virtual clock, per-replica
+executor slots, FCFS + continuous-batching and token-level schedulers,
+and the transactional cache-session lifecycle):
+
+* :class:`~repro.engine.server.ServingSimulator` — one replica, FCFS over
+  ``n_executors`` prefill slots with background decode; per-request
+  records (TTFT, queue delay, hit tokens, FLOPs saved).
+* :class:`~repro.engine.iteration.IterationSimulator` — one replica,
+  iteration-level batching with Sarathi-style chunked prefill; adds the
+  TBT/TPOT gap distribution.
+* :class:`repro.cluster.simulator.ClusterSimulator` — N replicas behind a
+  router, each an independent FCFS executor with its own cache.
 """
 
 from repro.engine.events import Event, EventKind, EventQueue
@@ -15,9 +22,18 @@ from repro.engine.iteration import (
     IterationSimulator,
     simulate_trace_iteration,
 )
+from repro.engine.kernel import (
+    ContinuousBatchingScheduler,
+    KernelConfig,
+    KernelRun,
+    ReplicaScheduler,
+    SimulationKernel,
+    TokenBatchingScheduler,
+    VirtualClock,
+)
 from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
-from repro.engine.results import EngineResult, RequestRecord
+from repro.engine.results import EngineResult, RequestRecord, step_time_weighted_mean
 from repro.engine.server import ServingSimulator, simulate_trace
 
 __all__ = [
@@ -28,10 +44,18 @@ __all__ = [
     "IterationResult",
     "IterationSimulator",
     "simulate_trace_iteration",
+    "ContinuousBatchingScheduler",
+    "KernelConfig",
+    "KernelRun",
+    "ReplicaScheduler",
+    "SimulationKernel",
+    "TokenBatchingScheduler",
+    "VirtualClock",
     "LatencyModel",
     "EngineRequest",
     "EngineResult",
     "RequestRecord",
+    "step_time_weighted_mean",
     "ServingSimulator",
     "simulate_trace",
 ]

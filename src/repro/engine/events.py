@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import enum
 import heapq
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 
 class EventKind(enum.IntEnum):
@@ -43,11 +44,19 @@ class EventQueue:
     The per-queue sequence number makes ordering total (and FIFO among
     same-time same-kind events), so simulator runs are reproducible
     regardless of payload contents.
+
+    Each queue owns its counter, starting at zero: tie-break order depends
+    only on this queue's push history, never on how many events any other
+    queue (or a previous run reusing an engine-held counter) has issued.
+    Passing an external ``seq`` iterator is still accepted for callers that
+    deliberately share numbering, but sharing one counter across queues
+    makes seq values — and thus replay transcripts — depend on unrelated
+    simulations running in the same process.
     """
 
-    def __init__(self, seq: Iterator[int]) -> None:
+    def __init__(self, seq: Optional[Iterator[int]] = None) -> None:
         self._heap: list[Event] = []
-        self._seq = seq
+        self._seq = itertools.count() if seq is None else seq
 
     def __bool__(self) -> bool:
         return bool(self._heap)
@@ -60,3 +69,7 @@ class EventQueue:
 
     def pop(self) -> Event:
         return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """The next event to pop, without removing it (queue must be non-empty)."""
+        return self._heap[0]

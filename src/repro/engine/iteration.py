@@ -1,7 +1,7 @@
 """Iteration-level batching engine with chunked prefill (Orca / Sarathi).
 
-The FCFS simulator in :mod:`repro.engine.server` models a dedicated prefill
-executor with background decode, which is the right lens for TTFT — but it
+The FCFS simulator in :mod:`repro.engine.server` models dedicated prefill
+executors with background decode, which is the right lens for TTFT — but it
 cannot show the paper's footnote 2: *"Even though prefix caching is a
 prefill-only optimization, a lower prefill latency also reduces the tail
 TPT for high-throughput LLM inference engines"*.  That effect lives at the
@@ -10,7 +10,9 @@ prefill chunk occupies an iteration that all concurrent decode streams
 must wait through — so skipping prefill via cache hits directly shortens
 other requests' inter-token gaps.
 
-This engine models exactly that execution style:
+This engine is a one-replica configuration of
+:class:`repro.engine.kernel.SimulationKernel` with the token-level
+:class:`~repro.engine.kernel.TokenBatchingScheduler`:
 
 * time advances in *iterations*; each iteration carries every active
   decode stream (one token each, up to ``max_batch``) plus at most one
@@ -27,20 +29,21 @@ This engine models exactly that execution style:
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import CacheProtocol, RequestSession
+from repro.core.interfaces import CacheProtocol
+from repro.engine.kernel import (
+    KernelConfig,
+    SimulationKernel,
+    TokenBatchingScheduler,
+)
 from repro.engine.latency import LatencyModel
-from repro.engine.request import EngineRequest
-from repro.engine.results import RequestRecord
+from repro.engine.results import EngineResult
 from repro.models.config import ModelConfig
-from repro.models.flops import model_prefill_flops, model_suffix_prefill_flops
-from repro.workloads.trace import Trace, TraceSession
+from repro.workloads.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -61,72 +64,11 @@ class IterationConfig:
 
 
 @dataclass
-class _PrefillJob:
-    request: EngineRequest
-    session: Optional[RequestSession] = None
-    position: int = 0  # tokens already processed (including the hit)
-    started: bool = False
-    service_start: float = 0.0
-    compute_seconds: float = 0.0
-
-    # The lookup outcome lives on the session (zero until begin runs).
-    @property
-    def hit_tokens(self) -> int:
-        return self.session.hit_tokens if self.session is not None else 0
-
-    @property
-    def reused_bytes(self) -> int:
-        return self.session.reused_bytes if self.session is not None else 0
-
-    @property
-    def reused_secondary_bytes(self) -> int:
-        return self.session.reused_secondary_bytes if self.session is not None else 0
-
-    @property
-    def remaining(self) -> int:
-        return self.request.input_len - self.position
-
-
-@dataclass
-class _DecodeJob:
-    request: EngineRequest
-    session: RequestSession
-    produced: int = 0
-    last_token_time: float = 0.0
-    gaps: list[float] = field(default_factory=list)
-
-    @property
-    def remaining(self) -> int:
-        return self.request.output_len - self.produced
-
-
-@dataclass
-class IterationResult:
+class IterationResult(EngineResult):
     """Per-request records plus the engine-wide inter-token gap sample."""
 
-    policy: str
-    records: list[RequestRecord] = field(default_factory=list)
     tbt_gaps: list[float] = field(default_factory=list)
     n_iterations: int = 0
-    cache_stats: dict = field(default_factory=dict)
-
-    @property
-    def n_requests(self) -> int:
-        return len(self.records)
-
-    @property
-    def token_hit_rate(self) -> float:
-        total = sum(r.input_len for r in self.records)
-        if total == 0:
-            return 0.0
-        return sum(r.hit_tokens for r in self.records) / total
-
-    def ttft_percentile(self, percentile: float) -> float:
-        """Linear-interpolated TTFT percentile in seconds."""
-        values = [r.ttft for r in self.records]
-        if not values:
-            raise ValueError("no records to take a percentile of")
-        return float(np.percentile(values, percentile))
 
     def tbt_percentile(self, percentile: float) -> float:
         """Inter-token-gap percentile across all decoded tokens."""
@@ -145,170 +87,51 @@ class IterationSimulator:
         latency: Optional[LatencyModel] = None,
         config: Optional[IterationConfig] = None,
         policy_name: str = "unnamed",
+        seed: int = 0,
+        record_timeseries: bool = True,
     ) -> None:
         self.model = model
         self.cache = cache
         self.latency = latency or LatencyModel()
         self.config = config or IterationConfig()
         self.policy_name = policy_name
-        self._seq = itertools.count()
-
-    # ------------------------------------------------------------------
-    # Iteration costing
-    # ------------------------------------------------------------------
-    def _chunk_seconds(self, job: _PrefillJob, chunk: int) -> float:
-        """Compute time of one prefill chunk (suffix-aware at its position)."""
-        flops = model_suffix_prefill_flops(
-            self.model, job.position + chunk, job.position
+        self.kernel_config = KernelConfig(
+            max_running=1, seed=seed, record_timeseries=record_timeseries
         )
-        seconds = flops / self.latency.effective_flops_per_s
-        if job.position == job.hit_tokens and job.reused_bytes:
-            primary = job.reused_bytes - job.reused_secondary_bytes
-            seconds += primary / self.latency.fetch_bandwidth_bytes_per_s
-            seconds += (
-                job.reused_secondary_bytes
-                / self.latency.secondary_fetch_bandwidth_bytes_per_s
-            )
-        return seconds
 
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
     def run(self, trace: Trace) -> IterationResult:
         """Simulate the full trace; returns records plus the TBT gap sample."""
-        result = IterationResult(policy=self.policy_name)
-        arrivals: list[tuple[float, int, EngineRequest]] = []
-        for session in trace.sessions:
-            heapq.heappush(
-                arrivals,
-                (
-                    session.arrival_time,
-                    next(self._seq),
-                    self._make_request(session, 0, session.arrival_time),
-                ),
-            )
-        sessions_by_id = {s.session_id: s for s in trace.sessions}
+        config = self.config
 
-        prefill_queue: list[_PrefillJob] = []
-        decodes: list[_DecodeJob] = []
-        now = 0.0
-
-        def drain_arrivals(upto: float) -> None:
-            while arrivals and arrivals[0][0] <= upto:
-                _, _, request = heapq.heappop(arrivals)
-                prefill_queue.append(_PrefillJob(request=request))
-
-        while arrivals or prefill_queue or decodes:
-            if not prefill_queue and not decodes:
-                # Idle: jump to the next arrival.
-                now = max(now, arrivals[0][0])
-            drain_arrivals(now)
-            if not prefill_queue and not decodes:
-                continue
-
-            # --- schedule one iteration ---------------------------------
-            batch = decodes[: self.config.max_batch]
-            chunk = 0
-            job: Optional[_PrefillJob] = None
-            if prefill_queue:
-                job = prefill_queue[0]
-                if not job.started:
-                    session = self.cache.begin(job.request.input_tokens, now)
-                    job.started = True
-                    job.service_start = now
-                    job.session = session
-                    job.position = session.hit_tokens
-                chunk = min(self.config.token_budget, job.remaining)
-
-            duration = self.config.iteration_overhead_s
-            if chunk and job is not None:
-                chunk_seconds = self._chunk_seconds(job, chunk)
-                job.compute_seconds += chunk_seconds
-                duration += chunk_seconds
-            if batch:
-                duration += self.latency.decode_seconds_per_token
-            now += duration
-            result.n_iterations += 1
-
-            # --- decode progress -----------------------------------------
-            finished_decodes = []
-            for stream in batch:
-                if stream.produced > 0:
-                    stream.gaps.append(now - stream.last_token_time)
-                    result.tbt_gaps.append(now - stream.last_token_time)
-                stream.produced += 1
-                stream.last_token_time = now
-                if stream.remaining == 0:
-                    finished_decodes.append(stream)
-            for stream in finished_decodes:
-                decodes.remove(stream)
-                self._complete(stream, now, arrivals, sessions_by_id)
-
-            # --- prefill progress ----------------------------------------
-            if chunk and job is not None:
-                job.position += chunk
-                if job.remaining == 0:
-                    prefill_queue.pop(0)
-                    result.records.append(
-                        RequestRecord(
-                            session_id=job.request.session_id,
-                            round_index=job.request.round_index,
-                            arrival_time=job.request.arrival_time,
-                            service_start=job.service_start,
-                            prefill_seconds=job.compute_seconds,
-                            ttft=now - job.request.arrival_time,
-                            input_len=job.request.input_len,
-                            hit_tokens=job.hit_tokens,
-                            output_len=job.request.output_len,
-                            reused_bytes=job.reused_bytes,
-                            flops_saved=model_prefill_flops(
-                                self.model, job.hit_tokens
-                            ),
-                        )
-                    )
-                    # The first output token is produced with the final
-                    # prefill chunk; decoding continues next iteration.
-                    decodes.append(
-                        _DecodeJob(
-                            request=job.request,
-                            session=job.session,
-                            produced=1,
-                            last_token_time=now,
-                        )
-                    )
-                    if job.request.output_len == 1:
-                        stream = decodes.pop()
-                        self._complete(stream, now, arrivals, sessions_by_id)
-
-        if hasattr(self.cache, "stats"):
-            result.cache_stats = self.cache.stats.snapshot()
-        return result
-
-    def _complete(self, stream: _DecodeJob, now, arrivals, sessions_by_id) -> None:
-        stream.session.commit(stream.request.full_tokens, now)
-        session = sessions_by_id[stream.request.session_id]
-        next_round = stream.request.round_index + 1
-        if next_round < session.n_rounds:
-            arrival = now + session.think_times[next_round]
-            heapq.heappush(
-                arrivals,
-                (
-                    arrival,
-                    next(self._seq),
-                    self._make_request(session, next_round, arrival),
-                ),
+        def factory(kernel: SimulationKernel, replica: int) -> TokenBatchingScheduler:
+            return TokenBatchingScheduler(
+                kernel,
+                replica,
+                token_budget=config.token_budget,
+                max_batch=config.max_batch,
+                iteration_overhead_s=config.iteration_overhead_s,
             )
 
-    @staticmethod
-    def _make_request(
-        session: TraceSession, round_index: int, arrival: float
-    ) -> EngineRequest:
-        return EngineRequest(
-            session_id=session.session_id,
-            round_index=round_index,
-            arrival_time=arrival,
-            input_tokens=session.full_input(round_index),
-            full_tokens=session.full_sequence(round_index),
+        kernel = SimulationKernel(
+            self.model,
+            [self.cache],
+            self.latency,
+            config=self.kernel_config,
+            scheduler_factory=factory,
+            policy_names=[self.policy_name],
+        )
+        run = kernel.run(trace)
+        base = run.replica_results[0]
+        scheduler: TokenBatchingScheduler = run.schedulers[0]
+        return IterationResult(
+            policy=base.policy,
+            records=base.records,
+            cache_stats=base.cache_stats,
+            max_running=base.max_running,
+            queue_depth_series=base.queue_depth_series,
+            running_series=base.running_series,
+            tbt_gaps=scheduler.tbt_gaps,
+            n_iterations=scheduler.n_iterations,
         )
 
 

@@ -1,0 +1,644 @@
+"""The unified discrete-event simulation kernel behind every serving engine.
+
+Marconi's results all flow through trace replays; this module is the one
+place that loop lives.  The kernel owns the pieces every engine shares:
+
+* the :class:`~repro.engine.events.EventQueue` and a monotone
+  :class:`VirtualClock` (time only moves forward, ties break by
+  ``(time, kind, per-queue seq)``);
+* per-replica executor state driven by a pluggable
+  :class:`ReplicaScheduler` — :class:`ContinuousBatchingScheduler` for
+  FCFS prefill-granularity batching over ``max_running`` slots (the
+  serving engine and the cluster simulator), and
+  :class:`TokenBatchingScheduler` for Sarathi-style iteration-level
+  chunked prefill (the iteration engine);
+* the transactional cache lifecycle: sessions open via
+  ``begin``/``begin_many`` at service start and commit at decode end,
+  and the closed-loop scheduling of each trace session's next round;
+* request routing (single replica, or an explicit
+  :class:`~repro.cluster.router.Router` over N replicas) and per-replica
+  telemetry: routed counts, busy seconds, and queue-depth /
+  running-executors change-point timeseries in every
+  :class:`~repro.engine.results.EngineResult`.
+
+Determinism protocol: a run's transcript is a pure function of
+``(trace, model, latency, caches, router, KernelConfig)``.  Every run
+builds a fresh event queue (whose tie-break counter starts at zero), a
+fresh clock, and a fresh ``numpy`` generator seeded from
+``KernelConfig.seed``; any randomized scheduler or router must draw from
+``kernel.rng`` and nowhere else.  Replaying the same inputs therefore
+yields byte-identical :class:`~repro.engine.results.RequestRecord`
+streams regardless of what else ran in the process.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.interfaces import CacheProtocol, RequestSession
+from repro.engine.events import EventKind, EventQueue
+from repro.engine.latency import LatencyModel
+from repro.engine.request import EngineRequest
+from repro.engine.results import EngineResult, RequestRecord
+from repro.models.config import ModelConfig
+from repro.models.flops import model_prefill_flops, model_suffix_prefill_flops
+from repro.workloads.trace import Trace
+
+
+class VirtualClock:
+    """Monotone simulation clock: ``advance`` refuses to run backwards."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, to: float) -> float:
+        if to < self._now:
+            raise ValueError(
+                f"virtual clock cannot run backwards: {to} < {self._now}"
+            )
+        self._now = to
+        return self._now
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Kernel knobs shared by every engine built on it.
+
+    ``max_running`` is the per-replica executor concurrency: how many
+    prefills one replica serves at once (continuous batching at prefill
+    granularity — a freed slot immediately starts the next queued
+    request).  ``seed`` feeds the per-run ``kernel.rng`` generator (the
+    only sanctioned randomness source inside a run).
+    """
+
+    max_running: int = 1
+    seed: int = 0
+    record_timeseries: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_running < 1:
+            raise ValueError(f"max_running must be >= 1, got {self.max_running}")
+
+
+@dataclass
+class _InFlight:
+    """A request occupying an executor slot between service start and prefill end."""
+
+    request: EngineRequest
+    replica: int
+    session: RequestSession  # lookup outcome (hit/reused bytes) lives here
+    service_start: float
+    prefill_seconds: float
+
+
+@dataclass
+class _PrefillJob:
+    """Head-of-line prefill progress of the token-level scheduler."""
+
+    request: EngineRequest
+    session: Optional[RequestSession] = None
+    position: int = 0  # tokens already processed (including the hit)
+    started: bool = False
+    service_start: float = 0.0
+    compute_seconds: float = 0.0
+
+    @property
+    def hit_tokens(self) -> int:
+        return self.session.hit_tokens if self.session is not None else 0
+
+    @property
+    def reused_bytes(self) -> int:
+        return self.session.reused_bytes if self.session is not None else 0
+
+    @property
+    def reused_secondary_bytes(self) -> int:
+        return self.session.reused_secondary_bytes if self.session is not None else 0
+
+    @property
+    def remaining(self) -> int:
+        return self.request.input_len - self.position
+
+
+@dataclass
+class _DecodeJob:
+    """One active decode stream of the token-level scheduler."""
+
+    request: EngineRequest
+    session: RequestSession
+    produced: int = 0
+    last_token_time: float = 0.0
+    gaps: list[float] = field(default_factory=list)
+
+    @property
+    def remaining(self) -> int:
+        return self.request.output_len - self.produced
+
+
+@dataclass
+class _IterationEnd:
+    """Payload of one token-level scheduler step (an iteration boundary)."""
+
+    replica: int
+    batch: list[_DecodeJob]
+    job: Optional[_PrefillJob]
+    chunk: int
+
+
+class ReplicaScheduler(abc.ABC):
+    """Per-replica scheduling policy plugged into the kernel.
+
+    The kernel routes arrivals to :meth:`enqueue` and step-completion
+    events (``EventKind.PREFILL_DONE`` payloads the scheduler pushed) to
+    :meth:`on_step_done`; the scheduler decides what runs when, pushes
+    its own future events through ``kernel.push``, and reports
+    ``queue_depth`` / ``n_running`` for routing loads and telemetry.
+    """
+
+    def __init__(self, kernel: "SimulationKernel", replica: int) -> None:
+        self.kernel = kernel
+        self.replica = replica
+
+    @abc.abstractmethod
+    def enqueue(self, request: EngineRequest, now: float) -> None:
+        """Accept a routed arrival (and start work if capacity is free)."""
+
+    @abc.abstractmethod
+    def on_step_done(self, payload: Any, now: float) -> None:
+        """Handle completion of a step this scheduler previously pushed."""
+
+    @property
+    @abc.abstractmethod
+    def queue_depth(self) -> int:
+        """Requests waiting for service (excluding those running)."""
+
+    @property
+    @abc.abstractmethod
+    def n_running(self) -> int:
+        """Occupied executor slots (work units currently executing)."""
+
+
+class ContinuousBatchingScheduler(ReplicaScheduler):
+    """FCFS over ``max_running`` executor slots, batched at prefill granularity.
+
+    All requests admitted in one scheduler step begin their cache sessions
+    as one batch (each still pays its own FLOP-derived prefill duration);
+    the moment a prefill finishes its slot is rescheduled, so the executor
+    never idles while the queue is non-empty — continuous batching at the
+    granularity of whole prefills.  Decode runs in the background and only
+    gates the session's next round.
+    """
+
+    def __init__(
+        self, kernel: "SimulationKernel", replica: int, max_running: int
+    ) -> None:
+        super().__init__(kernel, replica)
+        self.max_running = max_running
+        self.queue: deque[EngineRequest] = deque()
+        self.free_slots = max_running
+        # Hot-path bindings (schedulers are per-run, like the event queue).
+        self._push = kernel.events.push
+        self._records = kernel.results[replica].records
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def n_running(self) -> int:
+        return self.max_running - self.free_slots
+
+    def enqueue(self, request: EngineRequest, now: float) -> None:
+        self.queue.append(request)
+        self._start_next(now)
+
+    def _start_next(self, now: float) -> None:
+        kernel = self.kernel
+        n_start = min(self.free_slots, len(self.queue))
+        if n_start <= 0:
+            return
+        batch = [self.queue.popleft() for _ in range(n_start)]
+        sessions = kernel.caches[self.replica].begin_many(
+            [request.input_tokens for request in batch], now
+        )
+        self.free_slots -= n_start
+        for request, session in zip(batch, sessions):
+            prefill_seconds = kernel.latency.prefill_seconds(
+                kernel.model,
+                seq_len=request.input_len,
+                reused_len=session.hit_tokens,
+                reused_bytes=session.reused_bytes,
+                secondary_bytes=session.reused_secondary_bytes,
+            )
+            self._push(
+                now + prefill_seconds,
+                EventKind.PREFILL_DONE,
+                _InFlight(
+                    request=request,
+                    replica=self.replica,
+                    session=session,
+                    service_start=now,
+                    prefill_seconds=prefill_seconds,
+                ),
+            )
+
+    def on_step_done(self, flight: _InFlight, now: float) -> None:
+        kernel = self.kernel
+        request = flight.request
+        self._records.append(
+            RequestRecord(
+                session_id=request.session_id,
+                round_index=request.round_index,
+                arrival_time=request.arrival_time,
+                service_start=flight.service_start,
+                prefill_seconds=flight.prefill_seconds,
+                ttft=now - request.arrival_time,
+                input_len=request.input_len,
+                hit_tokens=flight.session.hit_tokens,
+                output_len=request.output_len,
+                reused_bytes=flight.session.reused_bytes,
+                flops_saved=model_prefill_flops(
+                    kernel.model, flight.session.hit_tokens
+                ),
+            )
+        )
+        kernel.busy_seconds[self.replica] += flight.prefill_seconds
+        self.free_slots += 1
+        self._push(
+            now + kernel.latency.decode_seconds(request.output_len),
+            EventKind.REQUEST_COMPLETE,
+            flight,
+        )
+        self._start_next(now)
+
+
+class TokenBatchingScheduler(ReplicaScheduler):
+    """Iteration-level batching with chunked prefill (Orca / Sarathi).
+
+    Time advances one iteration at a time: every iteration carries each
+    active decode stream (one token, up to ``max_batch``) plus at most one
+    chunk of up to ``token_budget`` tokens from the head-of-line prefill.
+    TTFT is the completion of a request's final chunk; each further decode
+    token records its inter-token gap into ``tbt_gaps``.  Single-replica
+    only (one GPU serving prefills and decodes together).
+    """
+
+    def __init__(
+        self,
+        kernel: "SimulationKernel",
+        replica: int,
+        token_budget: int,
+        max_batch: int,
+        iteration_overhead_s: float,
+    ) -> None:
+        super().__init__(kernel, replica)
+        self.token_budget = token_budget
+        self.max_batch = max_batch
+        self.iteration_overhead_s = iteration_overhead_s
+        self.prefill_queue: list[_PrefillJob] = []
+        self.decodes: list[_DecodeJob] = []
+        self.active = False
+        self.n_iterations = 0
+        self.tbt_gaps: list[float] = []
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.prefill_queue)
+
+    @property
+    def n_running(self) -> int:
+        return 1 if self.active else 0
+
+    def enqueue(self, request: EngineRequest, now: float) -> None:
+        self.prefill_queue.append(_PrefillJob(request=request))
+        if not self.active:
+            self._start_iteration(now)
+
+    # ------------------------------------------------------------------
+    # Iteration costing
+    # ------------------------------------------------------------------
+    def _chunk_seconds(self, job: _PrefillJob, chunk: int) -> float:
+        """Compute time of one prefill chunk (suffix-aware at its position)."""
+        latency = self.kernel.latency
+        flops = model_suffix_prefill_flops(
+            self.kernel.model, job.position + chunk, job.position
+        )
+        seconds = flops / latency.effective_flops_per_s
+        if job.position == job.hit_tokens and job.reused_bytes:
+            primary = job.reused_bytes - job.reused_secondary_bytes
+            seconds += primary / latency.fetch_bandwidth_bytes_per_s
+            seconds += (
+                job.reused_secondary_bytes
+                / latency.secondary_fetch_bandwidth_bytes_per_s
+            )
+        return seconds
+
+    def _start_iteration(self, now: float) -> None:
+        batch = self.decodes[: self.max_batch]
+        chunk = 0
+        job: Optional[_PrefillJob] = None
+        if self.prefill_queue:
+            job = self.prefill_queue[0]
+            if not job.started:
+                session = self.kernel.caches[self.replica].begin(
+                    job.request.input_tokens, now
+                )
+                job.started = True
+                job.service_start = now
+                job.session = session
+                job.position = session.hit_tokens
+            chunk = min(self.token_budget, job.remaining)
+
+        duration = self.iteration_overhead_s
+        if chunk and job is not None:
+            chunk_seconds = self._chunk_seconds(job, chunk)
+            job.compute_seconds += chunk_seconds
+            duration += chunk_seconds
+        if batch:
+            duration += self.kernel.latency.decode_seconds_per_token
+        self.active = True
+        self.kernel.push(
+            now + duration,
+            EventKind.PREFILL_DONE,
+            _IterationEnd(replica=self.replica, batch=batch, job=job, chunk=chunk),
+        )
+
+    def on_step_done(self, payload: _IterationEnd, now: float) -> None:
+        kernel = self.kernel
+        self.n_iterations += 1
+
+        # --- decode progress -----------------------------------------
+        finished_decodes = []
+        for stream in payload.batch:
+            if stream.produced > 0:
+                gap = now - stream.last_token_time
+                stream.gaps.append(gap)
+                self.tbt_gaps.append(gap)
+            stream.produced += 1
+            stream.last_token_time = now
+            if stream.remaining == 0:
+                finished_decodes.append(stream)
+        for stream in finished_decodes:
+            self.decodes.remove(stream)
+            kernel.finish_request(stream.request, stream.session, now)
+
+        # --- prefill progress ----------------------------------------
+        job, chunk = payload.job, payload.chunk
+        if chunk and job is not None:
+            job.position += chunk
+            if job.remaining == 0:
+                self.prefill_queue.pop(0)
+                kernel.emit_record(
+                    self.replica,
+                    RequestRecord(
+                        session_id=job.request.session_id,
+                        round_index=job.request.round_index,
+                        arrival_time=job.request.arrival_time,
+                        service_start=job.service_start,
+                        prefill_seconds=job.compute_seconds,
+                        ttft=now - job.request.arrival_time,
+                        input_len=job.request.input_len,
+                        hit_tokens=job.hit_tokens,
+                        output_len=job.request.output_len,
+                        reused_bytes=job.reused_bytes,
+                        flops_saved=model_prefill_flops(
+                            kernel.model, job.hit_tokens
+                        ),
+                    ),
+                )
+                # The first output token is produced with the final
+                # prefill chunk; decoding continues next iteration.
+                self.decodes.append(
+                    _DecodeJob(
+                        request=job.request,
+                        session=job.session,
+                        produced=1,
+                        last_token_time=now,
+                    )
+                )
+                if job.request.output_len == 1:
+                    stream = self.decodes.pop()
+                    kernel.finish_request(stream.request, stream.session, now)
+
+        # Arrivals landing exactly at this iteration boundary (including
+        # zero-think next rounds pushed just above) must join the queue
+        # before the next iteration is scheduled; ``active`` stays set so
+        # their enqueue cannot start a second concurrent iteration.
+        kernel.drain_arrivals_upto(now)
+        self.active = False
+        if self.prefill_queue or self.decodes:
+            self._start_iteration(now)
+
+
+SchedulerFactory = Callable[["SimulationKernel", int], ReplicaScheduler]
+
+
+@dataclass
+class KernelRun:
+    """Everything one kernel run produced, before engine-specific shaping."""
+
+    replica_results: list[EngineResult]
+    routed_counts: list[int]
+    busy_seconds: list[float]
+    schedulers: list[ReplicaScheduler]
+    n_events: int
+    end_time: float
+
+
+class SimulationKernel:
+    """One continuous-batching trace replay over N cache-owning replicas.
+
+    The serving engine, the iteration engine, and the cluster simulator
+    are thin configurations of this class: 1 replica with ``max_running``
+    slots, 1 replica with a :class:`TokenBatchingScheduler`, and N
+    replicas behind a router, respectively.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        caches: Sequence[CacheProtocol],
+        latency: Optional[LatencyModel] = None,
+        router: Optional[Any] = None,
+        config: Optional[KernelConfig] = None,
+        scheduler_factory: Optional[SchedulerFactory] = None,
+        policy_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not caches:
+            raise ValueError("need at least one replica cache")
+        if router is None and len(caches) > 1:
+            raise ValueError("multi-replica kernels need a router")
+        self.model = model
+        self.caches = list(caches)
+        self.latency = latency or LatencyModel()
+        self.router = router
+        self.config = config or KernelConfig()
+        self._scheduler_factory = scheduler_factory or (
+            lambda kernel, replica: ContinuousBatchingScheduler(
+                kernel, replica, kernel.config.max_running
+            )
+        )
+        if policy_names is None:
+            policy_names = [f"replica{i}" for i in range(len(self.caches))]
+        if len(policy_names) != len(self.caches):
+            raise ValueError("need one policy name per replica cache")
+        self.policy_names = list(policy_names)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> KernelRun:
+        """Replay the full trace; per-run state is rebuilt from scratch."""
+        n = len(self.caches)
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.results = [
+            EngineResult(
+                policy=self.policy_names[i], max_running=self.config.max_running
+            )
+            for i in range(n)
+        ]
+        # Results must exist before the factories run: schedulers may bind
+        # their replica's record list for the hot path.
+        self.schedulers = [self._scheduler_factory(self, i) for i in range(n)]
+        self.routed_counts = [0] * n
+        self.busy_seconds = [0.0] * n
+        self._sessions_by_id = {s.session_id: s for s in trace.sessions}
+        self._n_events = 0
+        # Hot-loop telemetry state: last sampled (depth, running) per replica,
+        # so change-point detection is two int compares per event.
+        self._last_depth = [-1] * n
+        self._last_running = [-1] * n
+
+        for session in trace.sessions:
+            self.events.push(
+                session.arrival_time,
+                EventKind.REQUEST_ARRIVAL,
+                EngineRequest.from_session(session, 0, session.arrival_time),
+            )
+
+        # The event loop is the simulator's hot path: dispatch is inlined
+        # and bound to locals (one run processes 3+ events per request).
+        events = self.events
+        clock = self.clock
+        schedulers = self.schedulers
+        arrival_kind = int(EventKind.REQUEST_ARRIVAL)
+        prefill_kind = int(EventKind.PREFILL_DONE)
+        n_events = 0
+        while events:
+            event = events.pop()
+            now = clock.advance(event.time)
+            n_events += 1
+            kind = event.kind
+            payload = event.payload
+            if kind == prefill_kind:
+                replica = payload.replica
+                schedulers[replica].on_step_done(payload, now)
+                self._sample(replica, now)
+            elif kind == arrival_kind:
+                self._admit(payload, now)
+            else:  # REQUEST_COMPLETE: background decode finished
+                self.finish_request(payload.request, payload.session, now)
+        self._n_events += n_events
+
+        for index, cache in enumerate(self.caches):
+            if hasattr(cache, "stats"):
+                self.results[index].cache_stats = cache.stats.snapshot()
+            self._sample(index, self.clock.now, force=True)
+        return KernelRun(
+            replica_results=self.results,
+            routed_counts=self.routed_counts,
+            busy_seconds=self.busy_seconds,
+            schedulers=self.schedulers,
+            n_events=self._n_events,
+            end_time=self.clock.now,
+        )
+
+    def _admit(self, request: EngineRequest, now: float) -> None:
+        replica = 0
+        if self.router is not None:
+            replica = self.router.route(
+                request.input_tokens, request.session_id, self.caches, self.loads(), now
+            )
+            if not 0 <= replica < len(self.caches):
+                raise ValueError(
+                    f"router {self.router.name!r} returned invalid replica {replica}"
+                )
+        self.routed_counts[replica] += 1
+        self.schedulers[replica].enqueue(request, now)
+        self._sample(replica, now)
+
+    # ------------------------------------------------------------------
+    # Services for schedulers
+    # ------------------------------------------------------------------
+    def push(self, time: float, kind: EventKind, payload: Any) -> None:
+        """Schedule a future event (schedulers' only way to advance work)."""
+        self.events.push(time, kind, payload)
+
+    def loads(self) -> list[int]:
+        """Per-replica in-flight request counts (queued + running)."""
+        return [s.queue_depth + s.n_running for s in self.schedulers]
+
+    def emit_record(self, replica: int, record: RequestRecord) -> None:
+        self.results[replica].records.append(record)
+
+    def finish_request(
+        self, request: EngineRequest, session: RequestSession, now: float
+    ) -> None:
+        """Commit the finished sequence and schedule the session's next
+        round after its think-time gap (closed-loop within sessions)."""
+        session.commit(request.full_tokens, now)
+        trace_session = self._sessions_by_id[request.session_id]
+        next_round = request.round_index + 1
+        if next_round < trace_session.n_rounds:
+            arrival = now + trace_session.think_times[next_round]
+            self.events.push(
+                arrival,
+                EventKind.REQUEST_ARRIVAL,
+                EngineRequest.from_session(trace_session, next_round, arrival),
+            )
+
+    def drain_arrivals_upto(self, now: float) -> None:
+        """Admit every queued arrival event with time <= ``now`` immediately.
+
+        Used by schedulers that make batching decisions at step boundaries
+        (the token-level scheduler): arrivals tying with the step-end event
+        sort after it (``REQUEST_ARRIVAL`` has the highest kind) but must
+        be visible to the very next scheduling decision.
+        """
+        events = self.events
+        while events:
+            head = events.peek()
+            if head.kind != int(EventKind.REQUEST_ARRIVAL) or head.time > now:
+                break
+            event = events.pop()
+            self._n_events += 1
+            self._admit(event.payload, now)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _sample(self, replica: int, now: float, force: bool = False) -> None:
+        """Record queue-depth / running change points for one replica."""
+        if not self.config.record_timeseries:
+            return
+        scheduler = self.schedulers[replica]
+        depth = scheduler.queue_depth
+        running = scheduler.n_running
+        if force or depth != self._last_depth[replica]:
+            self._last_depth[replica] = depth
+            self.results[replica].queue_depth_series.append((now, depth))
+        if force or running != self._last_running[replica]:
+            self._last_running[replica] = running
+            self.results[replica].running_series.append((now, running))

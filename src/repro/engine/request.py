@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.workloads.trace import TraceSession
 
 
 @dataclass
@@ -28,6 +32,19 @@ class EngineRequest:
             raise ValueError("request must have at least one input token")
         if len(self.full_tokens) <= len(self.input_tokens):
             raise ValueError("request must produce at least one output token")
+
+    @classmethod
+    def from_session(
+        cls, session: "TraceSession", round_index: int, arrival: float
+    ) -> "EngineRequest":
+        """Materialize round ``round_index`` of a trace session at ``arrival``."""
+        return cls(
+            session_id=session.session_id,
+            round_index=round_index,
+            arrival_time=arrival,
+            input_tokens=session.full_input(round_index),
+            full_tokens=session.full_sequence(round_index),
+        )
 
     @property
     def input_len(self) -> int:

@@ -32,13 +32,42 @@ class RequestRecord:
         return self.hit_tokens / self.input_len if self.input_len else 0.0
 
 
+def step_time_weighted_mean(series: list[tuple[float, float]]) -> float:
+    """Time-weighted mean of a right-continuous step function.
+
+    ``series`` is ``[(time, value), ...]`` with non-decreasing times; each
+    value holds until the next sample.  Fewer than two samples (or a
+    zero-length span) means there is no interval to average over: 0.0.
+    """
+    if len(series) < 2:
+        return 0.0
+    area = 0.0
+    for (t0, v0), (t1, _) in zip(series, series[1:]):
+        area += v0 * (t1 - t0)
+    span = series[-1][0] - series[0][0]
+    if span <= 0.0:
+        return 0.0
+    return area / span
+
+
 @dataclass
 class EngineResult:
-    """All records of one (trace, policy) simulation plus cache counters."""
+    """All records of one (trace, policy) simulation plus cache counters.
+
+    The kernel additionally attaches scheduling telemetry: ``max_running``
+    (executor slots of the replica that produced this result) and two
+    change-point timeseries sampled by the simulation kernel —
+    ``queue_depth_series`` (requests waiting, excluding running) and
+    ``running_series`` (occupied executor slots), each as ``(time, value)``
+    step functions closed by a final sample at drain time.
+    """
 
     policy: str
     records: list[RequestRecord] = field(default_factory=list)
     cache_stats: dict = field(default_factory=dict)
+    max_running: int = 1
+    queue_depth_series: list[tuple[float, int]] = field(default_factory=list)
+    running_series: list[tuple[float, int]] = field(default_factory=list)
 
     @property
     def n_requests(self) -> int:
@@ -79,6 +108,29 @@ class EngineResult:
         if not self.records:
             return 0.0
         return float(np.mean([r.queue_delay for r in self.records]))
+
+    # ------------------------------------------------------------------
+    # Scheduling telemetry (populated by the simulation kernel)
+    # ------------------------------------------------------------------
+    def mean_queue_depth(self) -> float:
+        """Time-weighted mean number of requests waiting (not running)."""
+        return step_time_weighted_mean(self.queue_depth_series)
+
+    def peak_queue_depth(self) -> int:
+        """Deepest instantaneous FCFS backlog observed."""
+        if not self.queue_depth_series:
+            return 0
+        return max(depth for _, depth in self.queue_depth_series)
+
+    def mean_running(self) -> float:
+        """Time-weighted mean number of occupied executor slots."""
+        return step_time_weighted_mean(self.running_series)
+
+    def executor_utilization(self) -> float:
+        """Time-weighted fraction of executor slots busy (0..1)."""
+        if self.max_running <= 0:
+            return 0.0
+        return self.mean_running() / self.max_running
 
     def summary(self) -> dict[str, float]:
         """Compact scalar summary for tables and logs."""

@@ -1,41 +1,33 @@
-"""The discrete-event serving simulator.
+"""The discrete-event serving simulator (kernel-backed).
 
 Timeline for each request:
 
 1. It *arrives* (session start, or previous round's decode end plus think
    time) and joins the FCFS prefill queue.
-2. When the prefill executor frees up, the request is *served*: the cache
-   lookup happens here (states reused must exist at service time, not
-   arrival time), the prefill occupies the executor for the latency model's
-   suffix-aware duration, and TTFT = prefill end − arrival.
+2. When a prefill executor slot frees up, the request is *served*: the
+   cache lookup happens here (states reused must exist at service time,
+   not arrival time), the prefill occupies the slot for the latency
+   model's suffix-aware duration, and TTFT = prefill end − arrival.
 3. Decode proceeds in the background; at its end the full sequence is
    admitted into the cache and the session's next round is scheduled after
    the think-time gap.
+
+This engine is a one-replica configuration of
+:class:`repro.engine.kernel.SimulationKernel` with
+:class:`~repro.engine.kernel.ContinuousBatchingScheduler` over
+``n_executors`` slots; the scheduling loop itself lives in the kernel.
 """
 
 from __future__ import annotations
 
-import itertools
-from collections import deque
-from dataclasses import dataclass
 from typing import Optional
 
-from repro.baselines.base import CacheProtocol, RequestSession
-from repro.engine.events import EventKind, EventQueue
+from repro.core.interfaces import CacheProtocol
+from repro.engine.kernel import KernelConfig, SimulationKernel
 from repro.engine.latency import LatencyModel
-from repro.engine.request import EngineRequest
-from repro.engine.results import EngineResult, RequestRecord
+from repro.engine.results import EngineResult
 from repro.models.config import ModelConfig
-from repro.models.flops import model_prefill_flops
-from repro.workloads.trace import Trace, TraceSession
-
-
-@dataclass
-class _InFlight:
-    request: EngineRequest
-    session: RequestSession  # lookup outcome (hit/reused bytes) lives here
-    service_start: float
-    prefill_seconds: float
+from repro.workloads.trace import Trace
 
 
 class ServingSimulator:
@@ -43,8 +35,8 @@ class ServingSimulator:
 
     ``n_executors > 1`` models data-parallel prefill workers that share the
     single prefix cache (e.g. multiple prefill streams on one node): up to
-    that many requests prefill concurrently, each still paying its own
-    FLOP-derived duration.
+    that many requests prefill concurrently (continuous batching at
+    prefill granularity), each still paying its own FLOP-derived duration.
     """
 
     def __init__(
@@ -54,6 +46,8 @@ class ServingSimulator:
         latency: Optional[LatencyModel] = None,
         policy_name: str = "unnamed",
         n_executors: int = 1,
+        seed: int = 0,
+        record_timeseries: bool = True,
     ) -> None:
         if n_executors < 1:
             raise ValueError(f"n_executors must be >= 1, got {n_executors}")
@@ -62,118 +56,20 @@ class ServingSimulator:
         self.latency = latency or LatencyModel()
         self.policy_name = policy_name
         self.n_executors = n_executors
-        self._seq = itertools.count()
+        self.config = KernelConfig(
+            max_running=n_executors, seed=seed, record_timeseries=record_timeseries
+        )
 
     def run(self, trace: Trace) -> EngineResult:
         """Simulate the full trace; returns per-request records."""
-        events = EventQueue(self._seq)
-        push = events.push
-        queue: deque[EngineRequest] = deque()
-        result = EngineResult(policy=self.policy_name)
-        free_executors = self.n_executors
-
-        for session in trace.sessions:
-            push(
-                session.arrival_time,
-                EventKind.REQUEST_ARRIVAL,
-                self._make_request(session, 0, session.arrival_time),
-            )
-
-        def start_next(now: float) -> None:
-            nonlocal free_executors
-            n_start = min(free_executors, len(queue))
-            if n_start <= 0:
-                return
-            # All requests admitted this scheduler step begin at the same
-            # instant, so their sessions open as one batch (each still pays
-            # its own FLOP-derived prefill duration below).
-            batch = [queue.popleft() for _ in range(n_start)]
-            sessions = self.cache.begin_many(
-                [request.input_tokens for request in batch], now
-            )
-            free_executors -= n_start
-            for request, session in zip(batch, sessions):
-                prefill_seconds = self.latency.prefill_seconds(
-                    self.model,
-                    seq_len=request.input_len,
-                    reused_len=session.hit_tokens,
-                    reused_bytes=session.reused_bytes,
-                    secondary_bytes=session.reused_secondary_bytes,
-                )
-                push(
-                    now + prefill_seconds,
-                    EventKind.PREFILL_DONE,
-                    _InFlight(
-                        request=request,
-                        session=session,
-                        service_start=now,
-                        prefill_seconds=prefill_seconds,
-                    ),
-                )
-
-        sessions_by_id = {s.session_id: s for s in trace.sessions}
-        while events:
-            event = events.pop()
-            now = event.time
-            if event.kind == EventKind.REQUEST_ARRIVAL:
-                queue.append(event.payload)
-                start_next(now)
-            elif event.kind == EventKind.PREFILL_DONE:
-                flight: _InFlight = event.payload
-                request = flight.request
-                result.records.append(
-                    RequestRecord(
-                        session_id=request.session_id,
-                        round_index=request.round_index,
-                        arrival_time=request.arrival_time,
-                        service_start=flight.service_start,
-                        prefill_seconds=flight.prefill_seconds,
-                        ttft=now - request.arrival_time,
-                        input_len=request.input_len,
-                        hit_tokens=flight.session.hit_tokens,
-                        output_len=request.output_len,
-                        reused_bytes=flight.session.reused_bytes,
-                        flops_saved=model_prefill_flops(
-                            self.model, flight.session.hit_tokens
-                        ),
-                    )
-                )
-                free_executors += 1
-                push(
-                    now + self.latency.decode_seconds(request.output_len),
-                    EventKind.REQUEST_COMPLETE,
-                    flight,
-                )
-                start_next(now)
-            else:  # REQUEST_COMPLETE
-                flight = event.payload
-                request = flight.request
-                flight.session.commit(request.full_tokens, now)
-                session = sessions_by_id[request.session_id]
-                next_round = request.round_index + 1
-                if next_round < session.n_rounds:
-                    arrival = now + session.think_times[next_round]
-                    push(
-                        arrival,
-                        EventKind.REQUEST_ARRIVAL,
-                        self._make_request(session, next_round, arrival),
-                    )
-
-        if hasattr(self.cache, "stats"):
-            result.cache_stats = self.cache.stats.snapshot()
-        return result
-
-    @staticmethod
-    def _make_request(
-        session: TraceSession, round_index: int, arrival: float
-    ) -> EngineRequest:
-        return EngineRequest(
-            session_id=session.session_id,
-            round_index=round_index,
-            arrival_time=arrival,
-            input_tokens=session.full_input(round_index),
-            full_tokens=session.full_sequence(round_index),
+        kernel = SimulationKernel(
+            self.model,
+            [self.cache],
+            self.latency,
+            config=self.config,
+            policy_names=[self.policy_name],
         )
+        return kernel.run(trace).replica_results[0]
 
 
 def simulate_trace(

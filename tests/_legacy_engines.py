@@ -1,0 +1,560 @@
+"""Frozen pre-kernel reference implementations of the three serving loops.
+
+These are byte-for-byte copies of the scheduling loops that lived in
+``repro/engine/server.py``, ``repro/engine/iteration.py``, and
+``repro/cluster/simulator.py`` before the unified simulation kernel
+(``repro/engine/kernel.py``) replaced them.  They exist solely as the
+*reference side* of the differential conformance suite
+(``test_kernel_conformance.py``): replaying identical traces through a
+legacy loop and the kernel-backed engine must produce byte-identical
+per-request records and cache statistics at ``max_running=1`` (and, for
+the single-node engine, at any ``n_executors``).
+
+Do not "improve" these implementations: their value is that they do not
+change.  The only edits from the deleted originals are renames
+(``Legacy*`` prefixes) and import paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.interfaces import CacheProtocol, RequestSession
+from repro.cluster.router import Router
+from repro.cluster.simulator import ClusterResult
+from repro.engine.events import EventKind, EventQueue
+from repro.engine.iteration import IterationConfig, IterationResult
+from repro.engine.latency import LatencyModel
+from repro.engine.request import EngineRequest
+from repro.engine.results import EngineResult, RequestRecord
+from repro.models.config import ModelConfig
+from repro.models.flops import model_prefill_flops, model_suffix_prefill_flops
+from repro.workloads.trace import Trace, TraceSession
+
+
+# ----------------------------------------------------------------------
+# Legacy single-node FCFS serving simulator (ex repro/engine/server.py)
+# ----------------------------------------------------------------------
+@dataclass
+class _InFlight:
+    request: EngineRequest
+    session: RequestSession
+    service_start: float
+    prefill_seconds: float
+
+
+class LegacyServingSimulator:
+    """The pre-kernel FCFS serving loop, verbatim."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cache: CacheProtocol,
+        latency: Optional[LatencyModel] = None,
+        policy_name: str = "unnamed",
+        n_executors: int = 1,
+    ) -> None:
+        if n_executors < 1:
+            raise ValueError(f"n_executors must be >= 1, got {n_executors}")
+        self.model = model
+        self.cache = cache
+        self.latency = latency or LatencyModel()
+        self.policy_name = policy_name
+        self.n_executors = n_executors
+        self._seq = itertools.count()
+
+    def run(self, trace: Trace) -> EngineResult:
+        events = EventQueue(self._seq)
+        push = events.push
+        queue: deque[EngineRequest] = deque()
+        result = EngineResult(policy=self.policy_name)
+        free_executors = self.n_executors
+
+        for session in trace.sessions:
+            push(
+                session.arrival_time,
+                EventKind.REQUEST_ARRIVAL,
+                self._make_request(session, 0, session.arrival_time),
+            )
+
+        def start_next(now: float) -> None:
+            nonlocal free_executors
+            n_start = min(free_executors, len(queue))
+            if n_start <= 0:
+                return
+            batch = [queue.popleft() for _ in range(n_start)]
+            sessions = self.cache.begin_many(
+                [request.input_tokens for request in batch], now
+            )
+            free_executors -= n_start
+            for request, session in zip(batch, sessions):
+                prefill_seconds = self.latency.prefill_seconds(
+                    self.model,
+                    seq_len=request.input_len,
+                    reused_len=session.hit_tokens,
+                    reused_bytes=session.reused_bytes,
+                    secondary_bytes=session.reused_secondary_bytes,
+                )
+                push(
+                    now + prefill_seconds,
+                    EventKind.PREFILL_DONE,
+                    _InFlight(
+                        request=request,
+                        session=session,
+                        service_start=now,
+                        prefill_seconds=prefill_seconds,
+                    ),
+                )
+
+        sessions_by_id = {s.session_id: s for s in trace.sessions}
+        while events:
+            event = events.pop()
+            now = event.time
+            if event.kind == EventKind.REQUEST_ARRIVAL:
+                queue.append(event.payload)
+                start_next(now)
+            elif event.kind == EventKind.PREFILL_DONE:
+                flight: _InFlight = event.payload
+                request = flight.request
+                result.records.append(
+                    RequestRecord(
+                        session_id=request.session_id,
+                        round_index=request.round_index,
+                        arrival_time=request.arrival_time,
+                        service_start=flight.service_start,
+                        prefill_seconds=flight.prefill_seconds,
+                        ttft=now - request.arrival_time,
+                        input_len=request.input_len,
+                        hit_tokens=flight.session.hit_tokens,
+                        output_len=request.output_len,
+                        reused_bytes=flight.session.reused_bytes,
+                        flops_saved=model_prefill_flops(
+                            self.model, flight.session.hit_tokens
+                        ),
+                    )
+                )
+                free_executors += 1
+                push(
+                    now + self.latency.decode_seconds(request.output_len),
+                    EventKind.REQUEST_COMPLETE,
+                    flight,
+                )
+                start_next(now)
+            else:  # REQUEST_COMPLETE
+                flight = event.payload
+                request = flight.request
+                flight.session.commit(request.full_tokens, now)
+                session = sessions_by_id[request.session_id]
+                next_round = request.round_index + 1
+                if next_round < session.n_rounds:
+                    arrival = now + session.think_times[next_round]
+                    push(
+                        arrival,
+                        EventKind.REQUEST_ARRIVAL,
+                        self._make_request(session, next_round, arrival),
+                    )
+
+        if hasattr(self.cache, "stats"):
+            result.cache_stats = self.cache.stats.snapshot()
+        return result
+
+    @staticmethod
+    def _make_request(
+        session: TraceSession, round_index: int, arrival: float
+    ) -> EngineRequest:
+        return EngineRequest(
+            session_id=session.session_id,
+            round_index=round_index,
+            arrival_time=arrival,
+            input_tokens=session.full_input(round_index),
+            full_tokens=session.full_sequence(round_index),
+        )
+
+
+def legacy_simulate_trace(
+    model, cache, trace, latency=None, policy_name="unnamed", n_executors=1
+) -> EngineResult:
+    return LegacyServingSimulator(model, cache, latency, policy_name, n_executors).run(
+        trace
+    )
+
+
+# ----------------------------------------------------------------------
+# Legacy iteration-level engine (ex repro/engine/iteration.py)
+# ----------------------------------------------------------------------
+@dataclass
+class _PrefillJob:
+    request: EngineRequest
+    session: Optional[RequestSession] = None
+    position: int = 0
+    started: bool = False
+    service_start: float = 0.0
+    compute_seconds: float = 0.0
+
+    @property
+    def hit_tokens(self) -> int:
+        return self.session.hit_tokens if self.session is not None else 0
+
+    @property
+    def reused_bytes(self) -> int:
+        return self.session.reused_bytes if self.session is not None else 0
+
+    @property
+    def reused_secondary_bytes(self) -> int:
+        return self.session.reused_secondary_bytes if self.session is not None else 0
+
+    @property
+    def remaining(self) -> int:
+        return self.request.input_len - self.position
+
+
+@dataclass
+class _DecodeJob:
+    request: EngineRequest
+    session: RequestSession
+    produced: int = 0
+    last_token_time: float = 0.0
+
+    @property
+    def remaining(self) -> int:
+        return self.request.output_len - self.produced
+
+
+class LegacyIterationSimulator:
+    """The pre-kernel iteration-level loop, verbatim."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cache: CacheProtocol,
+        latency: Optional[LatencyModel] = None,
+        config: Optional[IterationConfig] = None,
+        policy_name: str = "unnamed",
+    ) -> None:
+        self.model = model
+        self.cache = cache
+        self.latency = latency or LatencyModel()
+        self.config = config or IterationConfig()
+        self.policy_name = policy_name
+        self._seq = itertools.count()
+
+    def _chunk_seconds(self, job: _PrefillJob, chunk: int) -> float:
+        flops = model_suffix_prefill_flops(
+            self.model, job.position + chunk, job.position
+        )
+        seconds = flops / self.latency.effective_flops_per_s
+        if job.position == job.hit_tokens and job.reused_bytes:
+            primary = job.reused_bytes - job.reused_secondary_bytes
+            seconds += primary / self.latency.fetch_bandwidth_bytes_per_s
+            seconds += (
+                job.reused_secondary_bytes
+                / self.latency.secondary_fetch_bandwidth_bytes_per_s
+            )
+        return seconds
+
+    def run(self, trace: Trace) -> IterationResult:
+        result = IterationResult(policy=self.policy_name)
+        arrivals: list[tuple[float, int, EngineRequest]] = []
+        for session in trace.sessions:
+            heapq.heappush(
+                arrivals,
+                (
+                    session.arrival_time,
+                    next(self._seq),
+                    self._make_request(session, 0, session.arrival_time),
+                ),
+            )
+        sessions_by_id = {s.session_id: s for s in trace.sessions}
+
+        prefill_queue: list[_PrefillJob] = []
+        decodes: list[_DecodeJob] = []
+        now = 0.0
+
+        def drain_arrivals(upto: float) -> None:
+            while arrivals and arrivals[0][0] <= upto:
+                _, _, request = heapq.heappop(arrivals)
+                prefill_queue.append(_PrefillJob(request=request))
+
+        while arrivals or prefill_queue or decodes:
+            if not prefill_queue and not decodes:
+                now = max(now, arrivals[0][0])
+            drain_arrivals(now)
+            if not prefill_queue and not decodes:
+                continue
+
+            batch = decodes[: self.config.max_batch]
+            chunk = 0
+            job: Optional[_PrefillJob] = None
+            if prefill_queue:
+                job = prefill_queue[0]
+                if not job.started:
+                    session = self.cache.begin(job.request.input_tokens, now)
+                    job.started = True
+                    job.service_start = now
+                    job.session = session
+                    job.position = session.hit_tokens
+                chunk = min(self.config.token_budget, job.remaining)
+
+            duration = self.config.iteration_overhead_s
+            if chunk and job is not None:
+                chunk_seconds = self._chunk_seconds(job, chunk)
+                job.compute_seconds += chunk_seconds
+                duration += chunk_seconds
+            if batch:
+                duration += self.latency.decode_seconds_per_token
+            now += duration
+            result.n_iterations += 1
+
+            finished_decodes = []
+            for stream in batch:
+                if stream.produced > 0:
+                    result.tbt_gaps.append(now - stream.last_token_time)
+                stream.produced += 1
+                stream.last_token_time = now
+                if stream.remaining == 0:
+                    finished_decodes.append(stream)
+            for stream in finished_decodes:
+                decodes.remove(stream)
+                self._complete(stream, now, arrivals, sessions_by_id)
+
+            if chunk and job is not None:
+                job.position += chunk
+                if job.remaining == 0:
+                    prefill_queue.pop(0)
+                    result.records.append(
+                        RequestRecord(
+                            session_id=job.request.session_id,
+                            round_index=job.request.round_index,
+                            arrival_time=job.request.arrival_time,
+                            service_start=job.service_start,
+                            prefill_seconds=job.compute_seconds,
+                            ttft=now - job.request.arrival_time,
+                            input_len=job.request.input_len,
+                            hit_tokens=job.hit_tokens,
+                            output_len=job.request.output_len,
+                            reused_bytes=job.reused_bytes,
+                            flops_saved=model_prefill_flops(
+                                self.model, job.hit_tokens
+                            ),
+                        )
+                    )
+                    decodes.append(
+                        _DecodeJob(
+                            request=job.request,
+                            session=job.session,
+                            produced=1,
+                            last_token_time=now,
+                        )
+                    )
+                    if job.request.output_len == 1:
+                        stream = decodes.pop()
+                        self._complete(stream, now, arrivals, sessions_by_id)
+
+        if hasattr(self.cache, "stats"):
+            result.cache_stats = self.cache.stats.snapshot()
+        return result
+
+    def _complete(self, stream: _DecodeJob, now, arrivals, sessions_by_id) -> None:
+        stream.session.commit(stream.request.full_tokens, now)
+        session = sessions_by_id[stream.request.session_id]
+        next_round = stream.request.round_index + 1
+        if next_round < session.n_rounds:
+            arrival = now + session.think_times[next_round]
+            heapq.heappush(
+                arrivals,
+                (
+                    arrival,
+                    next(self._seq),
+                    self._make_request(session, next_round, arrival),
+                ),
+            )
+
+    @staticmethod
+    def _make_request(
+        session: TraceSession, round_index: int, arrival: float
+    ) -> EngineRequest:
+        return EngineRequest(
+            session_id=session.session_id,
+            round_index=round_index,
+            arrival_time=arrival,
+            input_tokens=session.full_input(round_index),
+            full_tokens=session.full_sequence(round_index),
+        )
+
+
+def legacy_simulate_trace_iteration(
+    model, cache, trace, latency=None, config=None, policy_name="unnamed"
+) -> IterationResult:
+    return LegacyIterationSimulator(model, cache, latency, config, policy_name).run(
+        trace
+    )
+
+
+# ----------------------------------------------------------------------
+# Legacy cluster simulator (ex repro/cluster/simulator.py)
+# ----------------------------------------------------------------------
+@dataclass
+class _ClusterInFlight:
+    request: EngineRequest
+    replica: int
+    session: RequestSession
+    service_start: float
+    prefill_seconds: float
+
+
+class LegacyClusterSimulator:
+    """The pre-kernel cluster loop, verbatim (one busy flag per replica)."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        caches: Sequence[CacheProtocol],
+        router: Router,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        if not caches:
+            raise ValueError("need at least one replica cache")
+        self.model = model
+        self.caches = list(caches)
+        self.router = router
+        self.latency = latency or LatencyModel()
+        self._seq = itertools.count()
+
+    def run(self, trace: Trace) -> ClusterResult:
+        n = len(self.caches)
+        events = EventQueue(self._seq)
+        push = events.push
+        queues: list[list[EngineRequest]] = [[] for _ in range(n)]
+        busy = [False] * n
+        busy_seconds = [0.0] * n
+        routed_counts = [0] * n
+        results = [
+            EngineResult(policy=f"{self.router.name}/replica{i}") for i in range(n)
+        ]
+
+        def loads() -> list[int]:
+            return [len(queues[i]) + (1 if busy[i] else 0) for i in range(n)]
+
+        def start_next(replica: int, now: float) -> None:
+            if busy[replica] or not queues[replica]:
+                return
+            request = queues[replica].pop(0)
+            session = self.caches[replica].begin(request.input_tokens, now)
+            prefill_seconds = self.latency.prefill_seconds(
+                self.model,
+                seq_len=request.input_len,
+                reused_len=session.hit_tokens,
+                reused_bytes=session.reused_bytes,
+                secondary_bytes=session.reused_secondary_bytes,
+            )
+            busy[replica] = True
+            push(
+                now + prefill_seconds,
+                EventKind.PREFILL_DONE,
+                _ClusterInFlight(
+                    request=request,
+                    replica=replica,
+                    session=session,
+                    service_start=now,
+                    prefill_seconds=prefill_seconds,
+                ),
+            )
+
+        def admit_arrival(request: EngineRequest, now: float) -> None:
+            replica = self.router.route(
+                request.input_tokens, request.session_id, self.caches, loads(), now
+            )
+            if not 0 <= replica < n:
+                raise ValueError(
+                    f"router {self.router.name!r} returned invalid replica {replica}"
+                )
+            routed_counts[replica] += 1
+            queues[replica].append(request)
+            start_next(replica, now)
+
+        for session in trace.sessions:
+            push(
+                session.arrival_time,
+                EventKind.REQUEST_ARRIVAL,
+                self._make_request(session, 0, session.arrival_time),
+            )
+
+        sessions_by_id = {s.session_id: s for s in trace.sessions}
+        while events:
+            event = events.pop()
+            now = event.time
+            if event.kind == EventKind.REQUEST_ARRIVAL:
+                admit_arrival(event.payload, now)
+            elif event.kind == EventKind.PREFILL_DONE:
+                flight: _ClusterInFlight = event.payload
+                request = flight.request
+                results[flight.replica].records.append(
+                    RequestRecord(
+                        session_id=request.session_id,
+                        round_index=request.round_index,
+                        arrival_time=request.arrival_time,
+                        service_start=flight.service_start,
+                        prefill_seconds=flight.prefill_seconds,
+                        ttft=now - request.arrival_time,
+                        input_len=request.input_len,
+                        hit_tokens=flight.session.hit_tokens,
+                        output_len=request.output_len,
+                        reused_bytes=flight.session.reused_bytes,
+                        flops_saved=model_prefill_flops(
+                            self.model, flight.session.hit_tokens
+                        ),
+                    )
+                )
+                busy_seconds[flight.replica] += flight.prefill_seconds
+                busy[flight.replica] = False
+                push(
+                    now + self.latency.decode_seconds(request.output_len),
+                    EventKind.REQUEST_COMPLETE,
+                    flight,
+                )
+                start_next(flight.replica, now)
+            else:  # REQUEST_COMPLETE
+                flight = event.payload
+                request = flight.request
+                flight.session.commit(request.full_tokens, now)
+                session = sessions_by_id[request.session_id]
+                next_round = request.round_index + 1
+                if next_round < session.n_rounds:
+                    arrival = now + session.think_times[next_round]
+                    push(
+                        arrival,
+                        EventKind.REQUEST_ARRIVAL,
+                        self._make_request(session, next_round, arrival),
+                    )
+
+        for index, cache in enumerate(self.caches):
+            if hasattr(cache, "stats"):
+                results[index].cache_stats = cache.stats.snapshot()
+        return ClusterResult(
+            router=self.router.name,
+            replica_results=results,
+            routed_counts=routed_counts,
+            busy_seconds=busy_seconds,
+        )
+
+    @staticmethod
+    def _make_request(
+        session: TraceSession, round_index: int, arrival: float
+    ) -> EngineRequest:
+        return EngineRequest(
+            session_id=session.session_id,
+            round_index=round_index,
+            arrival_time=arrival,
+            input_tokens=session.full_input(round_index),
+            full_tokens=session.full_sequence(round_index),
+        )
+
+
+def legacy_simulate_cluster(
+    model, caches, router, trace, latency=None
+) -> ClusterResult:
+    return LegacyClusterSimulator(model, caches, router, latency).run(trace)

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.engine.results import EngineResult, RequestRecord
+from repro.engine.results import EngineResult, RequestRecord, step_time_weighted_mean
+from repro.metrics.fairness import coefficient_of_variation, jain_fairness
 from repro.metrics.hit_rate import (
     hit_rate_win,
     improvement_ratio,
@@ -41,6 +42,113 @@ class TestPercentiles:
         values, probs = cdf(rng.normal(size=100))
         assert np.all(np.diff(values) >= 0)
         assert probs[0] == pytest.approx(0.01) and probs[-1] == 1.0
+
+
+class TestPercentileEdgeCases:
+    """Degenerate inputs exercised by the kernel's utilization telemetry."""
+
+    def test_single_sample_is_its_own_percentile(self):
+        for p in (0, 5, 50, 95, 100):
+            assert percentile([7.5], p) == 7.5
+
+    def test_all_equal_values(self):
+        assert percentile([2.0] * 9, 95) == 2.0
+
+    def test_boundary_percentiles(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_negative_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_box_summary_single_sample_collapses(self):
+        box = BoxSummary.from_values([4.0])
+        assert box.p5 == box.q1 == box.median == box.q3 == box.p95 == 4.0
+
+    def test_box_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoxSummary.from_values([])
+
+    def test_cdf_single_sample(self):
+        values, probs = cdf([3.0])
+        assert values.tolist() == [3.0]
+        assert probs.tolist() == [1.0]
+
+    def test_cdf_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf([])
+
+
+class TestFairness:
+    """Load-balance metrics over replica sets, including degenerate ones."""
+
+    def test_even_loads_are_perfectly_fair(self):
+        assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+        assert coefficient_of_variation([3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_one_hot_load_is_worst_case(self):
+        n = 4
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(1 / n)
+
+    def test_empty_replica_set_raises(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+
+    def test_single_replica(self):
+        assert jain_fairness([5.0]) == pytest.approx(1.0)
+        assert coefficient_of_variation([5.0]) == pytest.approx(0.0)
+
+    def test_all_zero_loads(self):
+        """Idle cluster: defined as perfectly fair / perfectly balanced."""
+        assert jain_fairness([0.0, 0.0]) == 1.0
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+    def test_negative_loads_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([1.0, -1.0])
+
+    def test_accepts_ndarray(self):
+        arr = np.asarray([1.0, 2.0, 3.0])
+        assert 0 < jain_fairness(arr) <= 1.0
+        assert coefficient_of_variation(arr) > 0.0
+
+
+class TestStepTimeWeightedMean:
+    """The integrator behind the kernel's utilization timeseries."""
+
+    def test_empty_and_single_sample_are_zero(self):
+        assert step_time_weighted_mean([]) == 0.0
+        assert step_time_weighted_mean([(0.0, 5)]) == 0.0
+
+    def test_constant_step_function(self):
+        assert step_time_weighted_mean([(0.0, 2), (10.0, 2)]) == pytest.approx(2.0)
+
+    def test_weighted_by_dwell_time(self):
+        # value 4 for 1s, value 0 for 3s -> mean 1.0
+        series = [(0.0, 4), (1.0, 0), (4.0, 0)]
+        assert step_time_weighted_mean(series) == pytest.approx(1.0)
+
+    def test_zero_span_is_zero(self):
+        assert step_time_weighted_mean([(2.0, 3), (2.0, 7)]) == 0.0
+
+    def test_engine_result_utilization_bounds(self):
+        result = EngineResult(
+            policy="x",
+            max_running=2,
+            running_series=[(0.0, 2), (1.0, 1), (2.0, 0)],
+        )
+        assert result.mean_running() == pytest.approx(1.5)
+        assert result.executor_utilization() == pytest.approx(0.75)
+
+    def test_engine_result_empty_series(self):
+        result = EngineResult(policy="x")
+        assert result.mean_queue_depth() == 0.0
+        assert result.peak_queue_depth() == 0
+        assert result.executor_utilization() == 0.0
 
 
 class TestHitRate:
