@@ -24,6 +24,7 @@ _FAST_MODULES = {
     "test_micro_core.py",
     "test_micro_eviction_index.py",
     "test_micro_kernel.py",
+    "test_micro_router.py",
     "test_micro_session.py",
 }
 _BENCH_DIR = Path(__file__).resolve().parent

@@ -1,0 +1,164 @@
+"""Microbenchmark: directory routing vs per-request deep probing.
+
+The prefix directory's acceptance bar is asymptotic, not cosmetic: a deep
+probe walks every replica's radix tree per arrival (O(replicas x depth)),
+while a directory lookup is one walk of the shared union index (O(query
+depth)).  This bench warms fleets of 4/16/64 replicas with disjoint
+conversation sets, routes the same query mix through
+``PrefixAffinityRouter`` in both probe modes, verifies the decisions are
+identical, and requires directory routing to be at least 5x cheaper per
+decision at 16 replicas.
+
+Results are written to ``BENCH_router.json`` at the repo root for
+cross-PR trajectory tracking.  Deliberately fast (seconds); stays in the
+default test lane.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import PrefixAffinityRouter
+from repro.core.cache import MarconiCache
+from repro.models.memory import node_state_bytes
+from repro.models.presets import hybrid_7b
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_router.json"
+
+MODEL = hybrid_7b()
+FLEET_SIZES = (4, 16, 64)
+CONVERSATIONS_PER_REPLICA = 6
+SYSTEM_PROMPT_TOKENS = 1000
+TEMPLATE_TOKENS = 400
+UNIQUE_TOKENS = 500
+N_TEMPLATES = 4
+REPEATS = 3
+SPEEDUP_FLOOR_AT_16 = 5.0
+
+
+def _toks(rng, n):
+    return rng.integers(0, 32000, size=n, dtype=np.int32)
+
+
+def _build_fleet(n_replicas: int):
+    """A fleet in the steady state prefix caching creates: every replica's
+    tree shares the deployment's system prompt and few-shot templates
+    (so a deep probe must walk that shared spine in *each* tree), and each
+    replica additionally holds its own conversations underneath.  Queries
+    extend the conversations, plus a sprinkle of cold requests."""
+    rng = np.random.default_rng(1000 + n_replicas)
+    capacity = 4 * CONVERSATIONS_PER_REPLICA * node_state_bytes(MODEL, 2600, True)
+    caches = [MarconiCache(MODEL, capacity, alpha=1.0) for _ in range(n_replicas)]
+    prompt = _toks(rng, SYSTEM_PROMPT_TOKENS)
+    templates = [
+        np.concatenate([prompt, _toks(rng, TEMPLATE_TOKENS)])
+        for _ in range(N_TEMPLATES)
+    ]
+    queries = []
+    now = 0.0
+    for cache in caches:
+        for conv in range(CONVERSATIONS_PER_REPLICA):
+            template = templates[conv % N_TEMPLATES]
+            seq = np.concatenate([template, _toks(rng, UNIQUE_TOKENS)])
+            with cache.begin(seq, now) as session:
+                full = np.concatenate([seq, _toks(rng, 40)])
+                session.commit(full, now + 0.5)
+            queries.append(np.concatenate([full, _toks(rng, 30)]))
+            now += 1.0
+    for _ in range(max(4, n_replicas // 4)):
+        # Cold requests still share the system prompt (every real request
+        # does) — the deep probe pays the full spine walk for these too.
+        queries.append(np.concatenate([prompt, _toks(rng, UNIQUE_TOKENS)]))
+    order = rng.permutation(len(queries))
+    queries = [queries[i] for i in order]
+    loads = [int(load) for load in rng.integers(0, 3, size=n_replicas)]
+    return caches, queries, loads
+
+
+def _route_all(router, caches, queries, loads):
+    decisions = []
+    for index, query in enumerate(queries):
+        decisions.append(router.route(query, index, caches, loads, 0.0))
+    return decisions
+
+
+def _time_router(make_router, caches, queries, loads):
+    """Best-of-REPEATS wall time for routing the full query mix; the
+    router (and its directory, in directory mode) is built untimed."""
+    walls, decisions = [], None
+    for _ in range(REPEATS):
+        router = make_router()
+        router.prepare(MODEL, caches, None)  # directory build is one-time
+        start = time.perf_counter()
+        decisions = _route_all(router, caches, queries, loads)
+        walls.append(time.perf_counter() - start)
+    return min(walls), decisions
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for n_replicas in FLEET_SIZES:
+        caches, queries, loads = _build_fleet(n_replicas)
+        deep_wall, deep_decisions = _time_router(
+            lambda: PrefixAffinityRouter(probe="deep"), caches, queries, loads
+        )
+        dir_wall, dir_decisions = _time_router(
+            lambda: PrefixAffinityRouter(probe="directory"), caches, queries, loads
+        )
+        assert deep_decisions == dir_decisions, (
+            f"probe modes disagreed at {n_replicas} replicas"
+        )
+        out[n_replicas] = {
+            "n_replicas": n_replicas,
+            "n_queries": len(queries),
+            "deep_us_per_route": 1e6 * deep_wall / len(queries),
+            "directory_us_per_route": 1e6 * dir_wall / len(queries),
+            "speedup": deep_wall / dir_wall,
+        }
+    return out
+
+
+class TestRouterMicrobench:
+    def test_decision_cost_scales_with_query_not_fleet(self, measurements):
+        """Acceptance bar: >= 5x cheaper than deep probing at 16 replicas,
+        and the gap must widen with fleet size (the deep probe pays per
+        replica, the directory does not)."""
+        assert measurements[16]["speedup"] >= SPEEDUP_FLOOR_AT_16, (
+            f"directory speedup at 16 replicas only "
+            f"{measurements[16]['speedup']:.1f}x"
+        )
+        assert measurements[64]["speedup"] > measurements[4]["speedup"]
+
+    def test_directory_cost_nearly_flat_in_fleet_size(self, measurements):
+        """16x more replicas must not cost anywhere near 16x per decision:
+        the directory walk is O(query depth) plus small per-node maps."""
+        per_route_4 = measurements[4]["directory_us_per_route"]
+        per_route_64 = measurements[64]["directory_us_per_route"]
+        assert per_route_64 < 4.0 * per_route_4, (
+            f"directory per-route cost grew {per_route_64 / per_route_4:.1f}x "
+            f"from 4 to 64 replicas"
+        )
+
+    def test_emit_bench_json(self, measurements):
+        """Persist the perf snapshot for cross-PR trajectory tracking."""
+        payload = {
+            "benchmark": "router_decision_cost_directory_vs_deep_probe",
+            "workload": {
+                "conversations_per_replica": CONVERSATIONS_PER_REPLICA,
+                "system_prompt_tokens": SYSTEM_PROMPT_TOKENS,
+                "template_tokens": TEMPLATE_TOKENS,
+                "unique_tokens": UNIQUE_TOKENS,
+                "model": "hybrid_7b",
+            },
+            "fleets": {str(n): stats for n, stats in measurements.items()},
+            "speedup_floor_at_16": SPEEDUP_FLOOR_AT_16,
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        assert BENCH_PATH.exists()

@@ -11,7 +11,8 @@ Public surface:
 * :mod:`repro.engine` — discrete-event serving simulator with TTFT model.
 * :mod:`repro.nn` — an executable NumPy hybrid LLM for exact-reuse checks.
 * :mod:`repro.tiering` — two-tier (demote/promote) hierarchical caching.
-* :mod:`repro.cluster` — multi-replica serving with prefix-aware routing.
+* :mod:`repro.cluster` — multi-replica cache steering: a router-side
+  prefix directory, cross-replica state transfers, elastic/failure scenarios.
 * :mod:`repro.analysis` — clairvoyant replay bound and reuse taxonomy.
 * :mod:`repro.experiments` — one harness per paper figure/table.
 """
@@ -19,7 +20,13 @@ Public surface:
 from repro.core import MarconiCache, RequestSession, SessionState
 from repro.analysis import clairvoyant_replay, classify_trace
 from repro.baselines import SGLangPlusCache, VanillaCache, VLLMPlusCache, make_cache
-from repro.cluster import make_router, simulate_cluster
+from repro.cluster import (
+    DirectoryRouter,
+    PrefixDirectory,
+    ScenarioEvent,
+    make_router,
+    simulate_cluster,
+)
 from repro.engine import (
     IterationConfig,
     IterationSimulator,
@@ -56,6 +63,9 @@ __all__ = [
     "make_cache",
     "make_router",
     "simulate_cluster",
+    "DirectoryRouter",
+    "PrefixDirectory",
+    "ScenarioEvent",
     "clairvoyant_replay",
     "classify_trace",
     "IterationConfig",

@@ -1,4 +1,4 @@
-"""Cluster-level stateful serving: per-replica caches plus a prefix-aware router.
+"""Cluster-level stateful serving: per-replica caches plus cache steering.
 
 Preble (Srivatsa et al., cited in the paper's related work) shows that when
 every GPU keeps its own prefix cache, the *router* becomes part of the
@@ -6,14 +6,28 @@ caching policy: sending a request to the replica that already holds its
 longest prefix turns an R-way split cache back into (almost) one big cache,
 while naive load balancing scatters sessions and destroys reuse.
 
-This package provides the routing policies and a multi-replica
-discrete-event simulator to measure that effect with hybrid-model caches,
-where the stakes are higher than for Transformers: a mis-routed request
-doesn't just lose part of its KV reuse, it loses the *all-or-nothing*
-recurrent-state hit entirely.
+This package provides that routing layer and grows it into a full
+steering subsystem:
+
+* :mod:`repro.cluster.router` — the routing policies, including the
+  directory-backed prefix affinity and the transfer-planning
+  :class:`DirectoryRouter`;
+* :mod:`repro.cluster.directory` — the router-side global prefix
+  directory, an incrementally maintained radix index mapping prefixes to
+  replica sets (one O(query-depth) lookup per request instead of
+  deep-probing every replica tree);
+* :mod:`repro.cluster.simulator` — the multi-replica discrete-event
+  simulator, with cross-replica state transfers and elastic/failure
+  scenario schedules (replicas failing, draining, and joining mid-trace).
+
+The stakes are higher for hybrid-model caches than for Transformers: a
+mis-routed request doesn't just lose part of its KV reuse, it loses the
+*all-or-nothing* recurrent-state hit entirely.
 """
 
+from repro.cluster.directory import DirectoryLookup, DirectoryStats, PrefixDirectory
 from repro.cluster.router import (
+    DirectoryRouter,
     LeastLoadedRouter,
     PrefixAffinityRouter,
     RoundRobinRouter,
@@ -23,6 +37,7 @@ from repro.cluster.router import (
     probe_hit_tokens,
 )
 from repro.cluster.simulator import ClusterResult, ClusterSimulator, simulate_cluster
+from repro.engine.steering import RouteDecision, ScenarioEvent, TransferSpec
 
 __all__ = [
     "Router",
@@ -30,8 +45,15 @@ __all__ = [
     "LeastLoadedRouter",
     "SessionAffinityRouter",
     "PrefixAffinityRouter",
+    "DirectoryRouter",
     "make_router",
     "probe_hit_tokens",
+    "PrefixDirectory",
+    "DirectoryLookup",
+    "DirectoryStats",
+    "RouteDecision",
+    "TransferSpec",
+    "ScenarioEvent",
     "ClusterSimulator",
     "ClusterResult",
     "simulate_cluster",

@@ -1,0 +1,516 @@
+"""Router-side global prefix directory over a cluster's replica caches.
+
+The legacy prefix-affinity router deep-probes every replica's full radix
+tree on every arrival — an O(replicas x tree-depth) walk per request that
+also couples the router to each cache's internals.  The directory replaces
+those probes with one shared radix index over the *union* of all replicas'
+cached content, answering "who holds the deepest usable prefix of this
+query?" in a single O(query-depth) walk.
+
+It is maintained incrementally, never rescanned per request:
+
+* each tracked replica cache exports its tree mutations through the
+  :class:`~repro.core.radix_tree.TreeObserver` surface (the same contract
+  that powers the eviction index), so admissions, speculative inserts,
+  evictions, truncations, and abort rollbacks all update the directory as
+  they happen — including those driven by request-session commits;
+* a cache that replaces its tree wholesale (``reset()``, persistence
+  reload, failover wipe) re-attaches its registered observers through
+  :meth:`repro.core.interfaces.PrefixCache.add_tree_observer`'s contract,
+  and the directory answers with one full resync of that replica.
+
+Per directory node the index stores, per replica: how many tokens of the
+node's edge the replica holds KVs for (coverage is always a prefix of the
+edge, because a replica's own tree is prefix-closed along any root path)
+and whether the replica checkpoints a recurrent state exactly at the
+node's end.  Those two annotations reproduce both hit rules the deep
+probe implements: the hybrid all-or-nothing rule (deepest checkpointed
+node on the fully-matched path) and the pure-Transformer rule (raw
+common-prefix length, mid-edge allowed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro.core.radix_tree import TreeObserver, common_prefix_length
+from repro.core.node import RadixNode
+
+
+class _DirNode:
+    """One edge of the union index plus its per-replica annotations.
+
+    ``cover[r]`` is how many leading tokens of ``edge`` replica ``r``
+    holds (present only when > 0; implies ``r`` fully covers the parent's
+    edge).  ``ckpt`` is the set of replicas checkpointing exactly at this
+    node's end depth — checkpoint marks force an edge split, so a
+    checkpoint depth always lands on a node boundary.
+    """
+
+    __slots__ = ("edge", "parent", "children", "end", "cover", "ckpt")
+
+    def __init__(self, edge: np.ndarray, parent: Optional["_DirNode"]) -> None:
+        self.edge = edge
+        self.parent = parent
+        self.children: dict[int, _DirNode] = {}
+        self.end: int = (parent.end if parent is not None else 0) + len(edge)
+        self.cover: dict[int, int] = {}
+        self.ckpt: set[int] = set()
+
+    @property
+    def start(self) -> int:
+        return self.end - len(self.edge)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.children and not self.cover and not self.ckpt
+
+
+@dataclass
+class DirectoryStats:
+    """Maintenance and staleness counters of one directory instance."""
+
+    events: int = 0
+    marks: int = 0
+    clears: int = 0
+    splits: int = 0
+    pruned_nodes: int = 0
+    resyncs: int = 0
+    lookups: int = 0
+    n_nodes: int = 0
+    untracked_replicas: int = 0
+    invalidations: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "marks": self.marks,
+            "clears": self.clears,
+            "splits": self.splits,
+            "pruned_nodes": self.pruned_nodes,
+            "resyncs": self.resyncs,
+            "lookups": self.lookups,
+            "n_nodes": self.n_nodes,
+            "untracked_replicas": self.untracked_replicas,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class DirectoryLookup:
+    """Per-replica answer of one directory walk.
+
+    ``kv_matched[r]`` is the raw common-prefix length between the query
+    and replica ``r``'s cached content (the Transformer reuse length);
+    ``ckpt_depth[r]`` is the deepest checkpointed prefix of the query that
+    ``r`` holds with depth <= the walk's ``limit`` (the hybrid hit).
+    Replicas with no match are absent.
+    """
+
+    kv_matched: dict[int, int] = field(default_factory=dict)
+    ckpt_depth: dict[int, int] = field(default_factory=dict)
+
+
+class _ReplicaView(TreeObserver):
+    """The directory's per-replica observer bridge."""
+
+    def __init__(self, directory: "PrefixDirectory", replica: int) -> None:
+        self.directory = directory
+        self.replica = replica
+
+    # -- structure events ------------------------------------------------
+    def on_node_added(self, node: RadixNode) -> None:
+        tokens = node.path_tokens()
+        self.directory._note_event()
+        self.directory._mark(self.replica, tokens, len(tokens))
+
+    def on_leaf_removed(self, node: RadixNode, parent: RadixNode) -> None:
+        # The detached node keeps its edge tokens, so the full removed
+        # path is still reconstructible.
+        tokens = np.concatenate([parent.path_tokens(), node.edge_tokens])
+        self.directory._note_event()
+        self.directory._clear_beyond(self.replica, tokens, parent.seq_len)
+
+    def on_leaf_truncated(self, node: RadixNode) -> None:
+        # The dropped tail tokens are gone from the replica tree, but the
+        # directory still holds them: clear-descend below the new end.
+        self.directory._note_event()
+        self.directory._truncate(self.replica, node.path_tokens())
+
+    def on_checkpoint_changed(self, node: RadixNode) -> None:
+        tokens = node.path_tokens()
+        self.directory._note_event()
+        if node.has_ssm_state:
+            self.directory._set_ckpt(self.replica, tokens, node.seq_len)
+        else:
+            self.directory._clear_ckpt(self.replica, tokens, node.seq_len)
+
+    # Splits and merges redistribute tokens between replica-tree nodes
+    # without changing the replica's cached token set or checkpoint
+    # depths (merges always clear the checkpoint first), so the
+    # directory's content view is unaffected.
+    def on_edge_split(self, middle: RadixNode, child: RadixNode) -> None: ...
+
+    def on_merged(self, node: RadixNode, child: RadixNode) -> None: ...
+
+    def on_pin_changed(self, node: RadixNode) -> None: ...
+
+    def on_touched(self, node: RadixNode) -> None: ...
+
+    # -- tree replacement (reset / reload / failover) --------------------
+    def on_tree_attached(self, tree: Any) -> None:
+        self.directory._resync(self.replica, tree)
+
+
+class PrefixDirectory:
+    """Incrementally maintained prefix -> replica-set index for routing."""
+
+    def __init__(self) -> None:
+        self.root = _DirNode(np.empty(0, dtype=np.int32), parent=None)
+        self.stats = DirectoryStats()
+        self._views: dict[int, _ReplicaView] = {}
+        self._caches: dict[int, Any] = {}
+        self._tracked: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, replica: int, cache: Any) -> bool:
+        """Start tracking ``replica``'s cache; returns False when the
+        cache has no observable tree (deep-probe fallback applies).
+
+        Caches exposing their own ``probe`` method (block stores) are
+        left untracked on purpose: the deep probe prefers that method,
+        so the directory must too for decision compatibility.
+        """
+        if replica in self._views:
+            return replica in self._tracked
+        view = _ReplicaView(self, replica)
+        self._views[replica] = view
+        self._caches[replica] = cache
+        attach = getattr(cache, "add_tree_observer", None)
+        if (
+            callable(getattr(cache, "probe", None))
+            or attach is None
+            or not attach(view)
+        ):
+            self.stats.untracked_replicas += 1
+            return False
+        self._tracked.add(replica)
+        tree = getattr(cache, "tree", None)
+        if tree is not None:
+            self._resync(replica, tree)
+        return True
+
+    def tracked(self, replica: int) -> bool:
+        return replica in self._tracked
+
+    @property
+    def replicas(self) -> tuple[int, ...]:
+        return tuple(sorted(self._tracked))
+
+    def invalidate(self, replica: int) -> None:
+        """Drop every directory entry of ``replica`` (failure/removal)."""
+        self._clear_replica(replica)
+        self.stats.invalidations += 1
+
+    def detach(self, replica: int) -> None:
+        """Stop observing ``replica`` and drop its entries."""
+        view = self._views.pop(replica, None)
+        cache = self._caches.pop(replica, None)
+        if view is not None and cache is not None:
+            remove = getattr(cache, "remove_tree_observer", None)
+            if callable(remove):
+                remove(view)
+        if replica in self._tracked:
+            self._tracked.discard(replica)
+            self.invalidate(replica)
+
+    def close(self) -> None:
+        """Detach from every cache (directory becomes inert)."""
+        for replica in list(self._views):
+            self.detach(replica)
+
+    # ------------------------------------------------------------------
+    # Lookup (the per-request O(query depth) walk)
+    # ------------------------------------------------------------------
+    def lookup(self, tokens: np.ndarray, limit: Optional[int] = None) -> DirectoryLookup:
+        """Per-replica deepest reuse for ``tokens``.
+
+        ``limit`` caps the checkpoint depths considered (the hybrid rule
+        requires the final input token to be prefilled, so routers pass
+        ``len(tokens) - 1``); KV matched lengths are reported raw.
+        """
+        self.stats.lookups += 1
+        out = DirectoryLookup()
+        if limit is None:
+            limit = len(tokens)
+        kv_matched = out.kv_matched
+        node = self.root
+        pos = 0
+        n = len(tokens)
+        # Coverage is prefix-closed (cover on a node implies full cover of
+        # every ancestor — see check_integrity), so a single downward pass
+        # suffices: deeper cover entries simply overwrite shallower ones.
+        while pos < n:
+            child = node.children.get(int(tokens[pos]))
+            if child is None:
+                break
+            shared = common_prefix_length(child.edge, tokens[pos:])
+            for r, c in child.cover.items():
+                kv_matched[r] = pos + (c if c < shared else shared)
+            if shared < len(child.edge):
+                break
+            pos += shared
+            if child.ckpt and pos <= limit:
+                for r in child.ckpt:
+                    out.ckpt_depth[r] = pos
+            node = child
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[_DirNode]:
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def staleness(self) -> dict:
+        """Maintenance/staleness snapshot (exported with cluster results)."""
+        return self.stats.to_dict()
+
+    def check_integrity(self) -> None:
+        """Raise ``AssertionError`` on any structural inconsistency (tests)."""
+        for node in self.iter_nodes():
+            assert len(node.edge) > 0, "non-root directory node with empty edge"
+            assert node.parent is not None
+            assert node.end == node.parent.end + len(node.edge)
+            assert node.parent.children.get(int(node.edge[0])) is node
+            assert not node.is_empty, "unpruned empty directory node"
+            for r, c in node.cover.items():
+                assert 0 < c <= len(node.edge)
+                parent = node.parent
+                if parent is not self.root:
+                    assert parent.cover.get(r) == len(parent.edge), (
+                        "coverage must be prefix-closed"
+                    )
+            for r in node.ckpt:
+                assert node.cover.get(r) == len(node.edge), (
+                    "checkpoint without full coverage"
+                )
+
+    # ------------------------------------------------------------------
+    # Maintenance primitives
+    # ------------------------------------------------------------------
+    def _note_event(self) -> None:
+        self.stats.events += 1
+
+    def _split(self, child: _DirNode, at: int) -> _DirNode:
+        """Split ``child``'s edge after ``at`` tokens, redistributing
+        per-replica coverage; checkpoints stay with ``child`` (its end
+        depth is unchanged)."""
+        parent = child.parent
+        assert parent is not None and 0 < at < len(child.edge)
+        middle = _DirNode(child.edge[:at].copy(), parent)
+        parent.children[int(middle.edge[0])] = middle
+        child.edge = child.edge[at:].copy()
+        child.parent = middle
+        middle.children[int(child.edge[0])] = child
+        new_cover: dict[int, int] = {}
+        for r, c in child.cover.items():
+            middle.cover[r] = min(c, at)
+            if c > at:
+                new_cover[r] = c - at
+        child.cover = new_cover
+        self.stats.splits += 1
+        self.stats.n_nodes += 1
+        return middle
+
+    def _prune(self, node: Optional[_DirNode]) -> None:
+        """Remove ``node`` and its ancestors while they carry nothing."""
+        while node is not None and node.parent is not None and node.is_empty:
+            parent = node.parent
+            del parent.children[int(node.edge[0])]
+            node.parent = None
+            self.stats.pruned_nodes += 1
+            self.stats.n_nodes -= 1
+            node = parent
+
+    def _mark(self, replica: int, tokens: np.ndarray, upto: int) -> None:
+        """Record that ``replica`` holds KVs for ``tokens[:upto]``."""
+        self.stats.marks += 1
+        node = self.root
+        pos = 0
+        while pos < upto:
+            rem = tokens[pos:upto]
+            child = node.children.get(int(rem[0]))
+            if child is None:
+                leaf = _DirNode(np.asarray(rem, dtype=np.int32).copy(), node)
+                node.children[int(leaf.edge[0])] = leaf
+                leaf.cover[replica] = len(leaf.edge)
+                self.stats.n_nodes += 1
+                return
+            shared = common_prefix_length(child.edge, rem)
+            if shared < len(child.edge):
+                if shared < len(rem):
+                    # Divergence mid-edge: split, then hang the new tail.
+                    middle = self._split(child, shared)
+                    middle.cover[replica] = len(middle.edge)
+                    leaf = _DirNode(np.asarray(rem[shared:], dtype=np.int32).copy(), middle)
+                    middle.children[int(leaf.edge[0])] = leaf
+                    leaf.cover[replica] = len(leaf.edge)
+                    self.stats.n_nodes += 1
+                else:
+                    # Marked range ends mid-edge: partial coverage, no split.
+                    child.cover[replica] = max(child.cover.get(replica, 0), shared)
+                return
+            child.cover[replica] = len(child.edge)
+            node = child
+            pos += shared
+
+    def _walk(self, tokens: np.ndarray) -> list[tuple[_DirNode, int, int]]:
+        """Directory path along ``tokens``: ``(node, start_pos, shared)``."""
+        path: list[tuple[_DirNode, int, int]] = []
+        node = self.root
+        pos = 0
+        n = len(tokens)
+        while pos < n:
+            child = node.children.get(int(tokens[pos]))
+            if child is None:
+                break
+            shared = common_prefix_length(child.edge, tokens[pos:])
+            path.append((child, pos, shared))
+            if shared < len(child.edge):
+                break
+            node = child
+            pos += shared
+        return path
+
+    def _clear_beyond(self, replica: int, tokens: np.ndarray, keep: int) -> None:
+        """Clear ``replica``'s coverage and checkpoints past depth ``keep``
+        along the known token path."""
+        self.stats.clears += 1
+        deepest: Optional[_DirNode] = None
+        for node, start, shared in self._walk(tokens):
+            end_here = start + shared
+            if end_here <= keep:
+                continue
+            c = node.cover.get(replica, 0)
+            if c > 0:
+                new = max(0, keep - start)
+                if c > new:
+                    if new > 0:
+                        node.cover[replica] = new
+                    else:
+                        del node.cover[replica]
+            if node.end > keep:
+                node.ckpt.discard(replica)
+            deepest = node
+        self._prune(deepest)
+
+    def _truncate(self, replica: int, tokens: np.ndarray) -> None:
+        """Clear ``replica`` below depth ``len(tokens)`` when the dropped
+        tail tokens are no longer known (leaf truncation): the directory
+        still holds them, and the replica's chain below the cut is unique
+        (a truncation always lands strictly inside one former edge)."""
+        self.stats.clears += 1
+        keep = len(tokens)
+        path = self._walk(tokens)
+        if not path:
+            return
+        node, start, shared = path[-1]
+        c = node.cover.get(replica, 0)
+        covered_to = start + c
+        anchor = node
+        if covered_to > keep:
+            new = keep - start
+            if new > 0:
+                node.cover[replica] = new
+            else:
+                del node.cover[replica]
+        # Coverage ran through this whole edge (the directory may be more
+        # split than the replica's leaf was, so the cut point can land
+        # mid-edge *or* on a boundary): deeper nodes can carry the
+        # replica's chain and must be cleared either way.
+        if c == len(node.edge):
+            stack = [
+                child
+                for child in node.children.values()
+                if replica in child.cover
+            ]
+            while stack:
+                child = stack.pop()
+                del child.cover[replica]
+                child.ckpt.discard(replica)
+                stack.extend(
+                    grand
+                    for grand in child.children.values()
+                    if replica in grand.cover
+                )
+                if child.is_empty:
+                    self._prune(child)
+        self._prune(anchor)
+
+    def _set_ckpt(self, replica: int, tokens: np.ndarray, depth: int) -> None:
+        """Mark a recurrent checkpoint of ``replica`` at exactly ``depth``."""
+        self._mark(replica, tokens, depth)
+        node = self.root
+        pos = 0
+        while pos < depth:
+            child = node.children.get(int(tokens[pos]))
+            assert child is not None, "checkpoint path must exist after marking"
+            shared = common_prefix_length(child.edge, tokens[pos:depth])
+            if shared < len(child.edge):
+                child = self._split(child, shared)
+            node = child
+            pos += shared
+        if node is not self.root:
+            node.ckpt.add(replica)
+
+    def _clear_ckpt(self, replica: int, tokens: np.ndarray, depth: int) -> None:
+        """Drop ``replica``'s checkpoint mark at exactly ``depth``."""
+        target: Optional[_DirNode] = None
+        for node, start, shared in self._walk(tokens[:depth]):
+            if start + shared == depth and shared == len(node.edge):
+                target = node
+        if target is not None:
+            target.ckpt.discard(replica)
+            self._prune(target)
+
+    def _clear_replica(self, replica: int) -> None:
+        """Remove every annotation of ``replica`` from the whole index."""
+        doomed: list[_DirNode] = []
+        for node in self.iter_nodes():
+            node.cover.pop(replica, None)
+            node.ckpt.discard(replica)
+            if node.is_empty:
+                doomed.append(node)
+        for node in doomed:
+            self._prune(node)
+
+    def _resync(self, replica: int, tree: Any) -> None:
+        """Rebuild ``replica``'s annotations from a full tree scan (used at
+        attach time and whenever the cache swaps in a new tree)."""
+        self._clear_replica(replica)
+        self.stats.resyncs += 1
+        root = getattr(tree, "root", None)
+        if root is None:
+            return
+        stack: list[tuple[RadixNode, np.ndarray]] = [
+            (child, child.edge_tokens) for child in root.children.values()
+        ]
+        while stack:
+            node, path = stack.pop()
+            self._mark(replica, path, len(path))
+            if node.has_ssm_state:
+                self._set_ckpt(replica, path, node.seq_len)
+            stack.extend(
+                (child, np.concatenate([path, child.edge_tokens]))
+                for child in node.children.values()
+            )

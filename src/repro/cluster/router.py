@@ -6,17 +6,32 @@ space the Preble paper maps: load-only (round-robin, least-loaded),
 locality-only (session affinity), and the combined prefix-affinity policy
 that chases cached prefixes but spills to less-loaded replicas when the
 preferred one is overloaded.
+
+Prefix-aware policies answer "who holds my prefix?" from the shared
+:class:`~repro.cluster.directory.PrefixDirectory` — one O(query-depth)
+walk per request, maintained incrementally from each replica's tree
+events — instead of deep-probing every replica tree (the legacy
+behaviour, kept behind ``probe="deep"`` and property-tested
+decision-identical).  :class:`DirectoryRouter` additionally *steers*
+state: when the load-balanced choice lacks a prefix another replica
+holds, it applies a per-request compute-or-load rule and plans a
+cross-replica transfer that the simulation kernel charges as an
+asynchronous bandwidth/latency event.
 """
 
 from __future__ import annotations
 
 import abc
 import zlib
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.core.interfaces import as_token_array
+from repro.cluster.directory import DirectoryLookup, PrefixDirectory
+from repro.engine.steering import RouteDecision, TransferSpec, pick_least_loaded
+
+_U64_MASK = (1 << 64) - 1
 
 
 def probe_hit_tokens(cache: Any, tokens: np.ndarray) -> int:
@@ -27,8 +42,17 @@ def probe_hit_tokens(cache: Any, tokens: np.ndarray) -> int:
     Transformers) without mutating the tree.  Caches without a tree (e.g.
     block stores) may expose their own ``probe`` method; anything else
     reports 0, which degrades prefix affinity into least-loaded routing.
+
+    Callers probing many replicas should pass an already-canonical int32
+    array (see :func:`~repro.core.interfaces.as_token_array`); the
+    coercion then short-circuits instead of re-running per replica.
     """
-    tokens = as_token_array(tokens)
+    if not (
+        isinstance(tokens, np.ndarray)
+        and tokens.dtype == np.int32
+        and tokens.ndim == 1
+    ):
+        tokens = as_token_array(tokens)
     if len(tokens) == 0:
         return 0
     probe = getattr(cache, "probe", None)
@@ -60,6 +84,45 @@ class Router(abc.ABC):
         now: float,
     ) -> int:
         """Pick a replica.  ``loads`` are per-replica in-flight request counts."""
+
+    def decide(
+        self,
+        tokens: np.ndarray,
+        session_id: int,
+        caches: Sequence[Any],
+        loads: Sequence[int],
+        now: float,
+    ) -> RouteDecision:
+        """Full steering verdict (replica + optional state transfer).
+
+        The base implementation wraps :meth:`route` with no transfer, so
+        every load/locality router keeps its exact legacy behaviour.
+        """
+        return RouteDecision(self.route(tokens, session_id, caches, loads, now))
+
+    def prepare(self, model: Any, caches: Sequence[Any], latency: Any) -> None:
+        """Run-start hook: the kernel hands the router its world (model,
+        replica caches, latency model) before the first arrival."""
+
+    def on_replica_joined(self, index: int, cache: Any) -> None:
+        """A replica joined the cluster mid-run at ``index``."""
+
+    def on_replica_left(self, index: int) -> None:
+        """Replica ``index`` failed or was removed; forget its state."""
+
+    def release(self) -> None:
+        """Run-end hook: detach from the replica caches (observers,
+        directories).  Routing again later re-attaches lazily."""
+
+    @property
+    def directory_stats(self) -> Optional[dict]:
+        """Maintenance counters of the router's prefix directory, if any."""
+        return None
+
+    @property
+    def decision_stats(self) -> dict[str, int]:
+        """Steering-decision counters (empty for content-blind routers)."""
+        return {}
 
     def reset(self) -> None:
         """Clear any internal state."""
@@ -96,9 +159,7 @@ class LeastLoadedRouter(Router):
         self._rotation = 0
 
     def _pick(self, loads: Sequence[int]) -> int:
-        floor = min(loads)
-        candidates = [i for i, load in enumerate(loads) if load == floor]
-        choice = candidates[self._rotation % len(candidates)]
+        choice = pick_least_loaded(loads, self._rotation)
         self._rotation += 1
         return choice
 
@@ -120,7 +181,11 @@ class SessionAffinityRouter(Router):
     name = "session_affinity"
 
     def route(self, tokens, session_id, caches, loads, now) -> int:
-        digest = zlib.crc32(int(session_id).to_bytes(8, "little", signed=True))
+        # Reduce mod 2^64 before serializing: ids beyond the signed-64-bit
+        # range (UUID-ish external ids) must hash, not raise.  For ids that
+        # already fit, the masked bytes are the same two's-complement
+        # encoding as before, so placements are unchanged.
+        digest = zlib.crc32((int(session_id) & _U64_MASK).to_bytes(8, "little"))
         return digest % len(caches)
 
 
@@ -133,26 +198,252 @@ class PrefixAffinityRouter(Router):
     replica instead (it will re-warm that cache for its session's later
     rounds).  Requests with no cached prefix anywhere go least-loaded with
     a rotating tie-break, spreading cold sessions across the cluster.
+
+    ``probe`` selects how per-replica hits are measured: ``"directory"``
+    (default) reads the incrementally maintained
+    :class:`~repro.cluster.directory.PrefixDirectory` in one O(query-depth)
+    walk; ``"deep"`` is the legacy O(replicas x tree) per-request probe of
+    every replica tree.  The two are decision-identical (property-tested);
+    replicas the directory cannot track (tree-less caches, caches with
+    their own ``probe`` method) transparently fall back to the deep probe.
     """
 
     name = "prefix_affinity"
 
-    def __init__(self, max_imbalance: int = 4) -> None:
+    def __init__(self, max_imbalance: int = 4, probe: str = "directory") -> None:
         if max_imbalance < 0:
             raise ValueError(f"max_imbalance must be non-negative, got {max_imbalance}")
+        if probe not in ("directory", "deep"):
+            raise ValueError(f"probe must be 'directory' or 'deep', got {probe!r}")
         self.max_imbalance = max_imbalance
+        self.probe_mode = probe
         self._fallback = LeastLoadedRouter()
+        self._directory: Optional[PrefixDirectory] = None
+        self._cache_ids: Optional[list[int]] = None
+        self._rules: list[str] = []  # per-replica hit rule, cached at bind
+        self._stats: dict[str, int] = {}
 
-    def route(self, tokens, session_id, caches, loads, now) -> int:
-        hits = [probe_hit_tokens(cache, tokens) for cache in caches]
-        best = int(max(range(len(caches)), key=lambda i: (hits[i], -loads[i], -i)))
+    # -- directory plumbing --------------------------------------------
+    @property
+    def directory(self) -> Optional[PrefixDirectory]:
+        return self._directory
+
+    @property
+    def directory_stats(self) -> Optional[dict]:
+        if self._directory is None:
+            return None
+        return self._directory.staleness()
+
+    @property
+    def decision_stats(self) -> dict[str, int]:
+        return dict(self._stats)
+
+    def _bump(self, key: str) -> None:
+        self._stats[key] = self._stats.get(key, 0) + 1
+
+    def prepare(self, model, caches, latency) -> None:
+        # Run-start hook: rebuild the directory even for an unchanged
+        # fleet (a prior run's scenario may have detached failed replicas
+        # that this run revives) and start decision counters fresh.
+        self._stats = {}
+        if self.probe_mode == "directory":
+            self._bind(caches, force=True)
+
+    def _bind(self, caches: Sequence[Any], force: bool = False) -> None:
+        """(Re-)attach the directory to ``caches``; idempotent per fleet
+        unless ``force`` requests a rebuild."""
+        ids = [id(cache) for cache in caches]
+        if not force and self._directory is not None and ids == self._cache_ids:
+            return
+        if self._directory is not None:
+            self._directory.close()
+        self._directory = PrefixDirectory()
+        self._cache_ids = ids
+        self._rules = []
+        for index, cache in enumerate(caches):
+            self._directory.attach(index, cache)
+            self._rules.append(self._rule_for(index, cache))
+
+    def _rule_for(self, index: int, cache: Any) -> str:
+        assert self._directory is not None
+        if not self._directory.tracked(index):
+            return "fallback"
+        model = getattr(cache, "model", None)
+        if model is not None and getattr(model, "has_recurrent_layers", False):
+            return "ckpt"
+        return "kv"
+
+    def on_replica_joined(self, index: int, cache: Any) -> None:
+        if self._directory is not None:
+            self._directory.attach(index, cache)
+            assert self._cache_ids is not None
+            self._cache_ids.append(id(cache))
+            self._rules.append(self._rule_for(index, cache))
+
+    def on_replica_left(self, index: int) -> None:
+        if self._directory is not None:
+            self._directory.detach(index)
+
+    # -- hit measurement -----------------------------------------------
+    def _lookup(self, tokens: np.ndarray) -> DirectoryLookup:
+        assert self._directory is not None
+        return self._directory.lookup(tokens, limit=len(tokens) - 1)
+
+    def _hits(
+        self,
+        tokens: np.ndarray,
+        caches: Sequence[Any],
+        lookup: Optional[DirectoryLookup] = None,
+    ) -> list[int]:
+        """Per-replica hit estimates, decision-identical across modes."""
+        if self.probe_mode == "deep":
+            return [probe_hit_tokens(cache, tokens) for cache in caches]
+        self._bind(caches)
+        if lookup is None:
+            lookup = self._lookup(tokens)
+        cap = max(len(tokens) - 1, 0)
+        ckpt_depth = lookup.ckpt_depth
+        kv_matched = lookup.kv_matched
+        hits: list[int] = []
+        for index, rule in enumerate(self._rules):
+            if rule == "ckpt":
+                hits.append(ckpt_depth.get(index, 0))
+            elif rule == "kv":
+                kv = kv_matched.get(index, 0)
+                hits.append(kv if kv < cap else cap)
+            else:
+                hits.append(probe_hit_tokens(caches[index], tokens))
+        return hits
+
+    def _select(self, hits: Sequence[int], loads: Sequence[int]) -> int:
+        """The affinity-vs-spill rule, shared by both probe modes."""
+        best = int(max(range(len(hits)), key=lambda i: (hits[i], -loads[i], -i)))
         floor = min(loads)
         if hits[best] == 0 or loads[best] - floor > self.max_imbalance:
+            self._bump("spilled" if hits[best] > 0 else "cold")
             return self._fallback._pick(loads)
+        self._bump("affinity")
         return best
+
+    def route(self, tokens, session_id, caches, loads, now) -> int:
+        tokens = as_token_array(tokens)  # canonicalize once, not per replica
+        return self._select(self._hits(tokens, caches), loads)
+
+    def release(self) -> None:
+        """Detach the directory's observers from the replica caches so
+        they stop paying maintenance once the run is over; the next
+        route()/prepare() rebuilds (and resyncs) lazily."""
+        if self._directory is not None:
+            self._directory.close()
+        self._directory = None
+        self._cache_ids = None
+        self._rules = []
 
     def reset(self) -> None:
         self._fallback.reset()
+        self._stats = {}
+        self.release()
+
+
+class DirectoryRouter(PrefixAffinityRouter):
+    """Directory-driven steering: prefix affinity plus state transfers.
+
+    Routing follows the same affinity/spill rule as
+    :class:`PrefixAffinityRouter` (always in directory mode).  On top of
+    it, when the chosen replica's local hit is shallower than the best
+    hit elsewhere in the cluster, the router applies a per-request
+    **compute-or-load rule**: fetch the hot prefix's self-contained state
+    (recurrent checkpoint + prefix KVs) from the owning replica if the
+    modeled transfer + second-tier fetch time beats recomputing the
+    missing span, otherwise recompute locally.  Planned transfers are
+    executed by the simulation kernel as asynchronous bandwidth-charged
+    events that land in the target's second-tier store, from which the
+    existing tiering promotion path serves the request.
+
+    ``transfer_min_tokens`` suppresses transfers for spans too short to
+    matter; ``migrate=True`` moves (rather than copies) second-tier
+    entries off the source.
+    """
+
+    name = "directory"
+
+    def __init__(
+        self,
+        max_imbalance: int = 4,
+        transfer: bool = True,
+        transfer_min_tokens: int = 64,
+        migrate: bool = False,
+    ) -> None:
+        super().__init__(max_imbalance=max_imbalance, probe="directory")
+        if transfer_min_tokens < 1:
+            raise ValueError(
+                f"transfer_min_tokens must be >= 1, got {transfer_min_tokens}"
+            )
+        self.transfer_enabled = transfer
+        self.transfer_min_tokens = transfer_min_tokens
+        self.migrate = migrate
+        self._model: Any = None
+        self._latency: Any = None
+
+    def prepare(self, model, caches, latency) -> None:
+        super().prepare(model, caches, latency)
+        self._model = model
+        self._latency = latency
+
+    def decide(self, tokens, session_id, caches, loads, now) -> RouteDecision:
+        tokens = as_token_array(tokens)
+        self._bind(caches)
+        lookup = self._lookup(tokens)
+        hits = self._hits(tokens, caches, lookup=lookup)
+        replica = self._select(hits, loads)
+        transfer = self._plan_transfer(tokens, caches, hits, lookup, replica)
+        return RouteDecision(replica, transfer)
+
+    def _plan_transfer(
+        self,
+        tokens: np.ndarray,
+        caches: Sequence[Any],
+        hits: Sequence[int],
+        lookup: DirectoryLookup,
+        target: int,
+    ) -> Optional[TransferSpec]:
+        if not self.transfer_enabled or self._model is None or self._latency is None:
+            return None
+        model, latency = self._model, self._latency
+        if not getattr(model, "has_recurrent_layers", False):
+            return None  # only checkpointed prefixes travel self-contained
+        if not hasattr(caches[target], "receive_state_transfer"):
+            return None  # target has no second-tier landing zone
+        local = hits[target]
+        source, depth = -1, local
+        for replica, ckpt_depth in lookup.ckpt_depth.items():
+            if replica != target and ckpt_depth > depth:
+                source, depth = replica, ckpt_depth
+        if source < 0 or depth - local < self.transfer_min_tokens:
+            return None
+        from repro.models.flops import model_suffix_prefill_flops
+        from repro.models.memory import kv_bytes, model_recurrent_bytes
+
+        nbytes = kv_bytes(model, depth) + model_recurrent_bytes(model)
+        load_seconds = (
+            latency.transfer_seconds(nbytes)
+            + nbytes / latency.secondary_fetch_bandwidth_bytes_per_s
+        )
+        saved_flops = model_suffix_prefill_flops(
+            model, len(tokens), local
+        ) - model_suffix_prefill_flops(model, len(tokens), depth)
+        recompute_seconds = saved_flops / latency.effective_flops_per_s
+        if load_seconds >= recompute_seconds:
+            self._bump("chose_recompute")
+            return None
+        self._bump("chose_load")
+        return TransferSpec(
+            source=source,
+            target=target,
+            tokens=tokens[:depth].copy(),
+            nbytes=int(nbytes),
+            migrate=self.migrate,
+        )
 
 
 _ROUTERS = {
@@ -160,6 +451,7 @@ _ROUTERS = {
     "least_loaded": LeastLoadedRouter,
     "session_affinity": SessionAffinityRouter,
     "prefix_affinity": PrefixAffinityRouter,
+    "directory": DirectoryRouter,
 }
 
 ROUTER_NAMES: tuple[str, ...] = tuple(sorted(_ROUTERS))

@@ -11,12 +11,27 @@ the router decides so).
 This simulator is an N-replica configuration of
 :class:`repro.engine.kernel.SimulationKernel` with one
 :class:`~repro.engine.kernel.ContinuousBatchingScheduler` per replica;
-the event loop, routing dispatch, and telemetry live in the kernel.
+the event loop, routing dispatch, transfer execution, and telemetry live
+in the kernel.
+
+Two cluster-scale behaviours layer on top of plain routing:
+
+* **State transfers** — steering routers (see
+  :class:`~repro.cluster.router.DirectoryRouter`) may attach a
+  :class:`~repro.engine.steering.TransferSpec` to a routing decision; the
+  kernel charges it as an asynchronous bandwidth/latency event and lands
+  the bytes in the target's second-tier store.
+* **Elastic / failure scenarios** — a schedule of
+  :class:`~repro.engine.steering.ScenarioEvent` entries makes replicas
+  fail (sessions aborted through the transactional path, cache wiped,
+  directory invalidated, orphans re-routed), drain, or join mid-trace.
+  With a scenario, ``routed_counts`` counts *admissions*, so its sum
+  exceeds the trace's request count by the number of re-routes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -25,6 +40,7 @@ from repro.core.interfaces import CacheProtocol
 from repro.engine.kernel import KernelConfig, SimulationKernel
 from repro.engine.latency import LatencyModel
 from repro.engine.results import EngineResult
+from repro.engine.steering import ScenarioEvent, SteeringTelemetry
 from repro.cluster.router import Router
 from repro.metrics.fairness import coefficient_of_variation, jain_fairness
 from repro.models.config import ModelConfig
@@ -39,6 +55,10 @@ class ClusterResult:
     replica_results: list[EngineResult]
     routed_counts: list[int]
     busy_seconds: list[float]
+    steering: Optional[SteeringTelemetry] = None
+    router_stats: dict = field(default_factory=dict)
+    directory_stats: Optional[dict] = None
+    scenario: list[dict] = field(default_factory=list)
 
     @property
     def n_replicas(self) -> int:
@@ -92,6 +112,50 @@ class ClusterResult:
         values = [r.executor_utilization() for r in self.replica_results]
         return float(np.mean(values))
 
+    # ------------------------------------------------------------------
+    # Steering telemetry views
+    # ------------------------------------------------------------------
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Bytes moved between replicas by state transfers."""
+        return self.steering.total_transfer_bytes if self.steering else 0
+
+    def steering_counter(self, key: str) -> int:
+        """One scalar steering counter (0 when never bumped)."""
+        if self.steering is None:
+            return 0
+        return self.steering.counters.get(key, 0)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: cluster aggregates, per-replica summaries,
+        steering/directory telemetry, and the scenario schedule."""
+        from repro.metrics.export import summary_dict
+
+        out: dict = {
+            "router": self.router,
+            "n_replicas": self.n_replicas,
+            "n_requests": self.n_requests,
+            "token_hit_rate": self.token_hit_rate,
+            "routed_counts": list(self.routed_counts),
+            "busy_seconds": list(self.busy_seconds),
+            "load_fairness": self.load_fairness,
+            "load_imbalance": self.load_imbalance,
+            "mean_executor_utilization": self.mean_executor_utilization(),
+            "replicas": [summary_dict(result) for result in self.replica_results],
+        }
+        if self.n_requests:
+            out["ttft_p50"] = self.ttft_percentile(50)
+            out["ttft_p95"] = self.ttft_percentile(95)
+        if self.steering is not None:
+            out["steering"] = self.steering.to_dict()
+        if self.router_stats:
+            out["router_stats"] = dict(self.router_stats)
+        if self.directory_stats is not None:
+            out["directory"] = dict(self.directory_stats)
+        if self.scenario:
+            out["scenario"] = list(self.scenario)
+        return out
+
 
 class ClusterSimulator:
     """Replays one trace through R replicas under one routing policy."""
@@ -105,6 +169,7 @@ class ClusterSimulator:
         max_running: int = 1,
         seed: int = 0,
         record_timeseries: bool = True,
+        scenario: Optional[Sequence[ScenarioEvent]] = None,
     ) -> None:
         if not caches:
             raise ValueError("need at least one replica cache")
@@ -112,6 +177,7 @@ class ClusterSimulator:
         self.caches = list(caches)
         self.router = router
         self.latency = latency or LatencyModel()
+        self.scenario = list(scenario) if scenario else []
         self.config = KernelConfig(
             max_running=max_running, seed=seed, record_timeseries=record_timeseries
         )
@@ -127,14 +193,25 @@ class ClusterSimulator:
             policy_names=[
                 f"{self.router.name}/replica{i}" for i in range(len(self.caches))
             ],
+            scenario=self.scenario,
         )
         run = kernel.run(trace)
-        return ClusterResult(
+        result = ClusterResult(
             router=self.router.name,
             replica_results=run.replica_results,
             routed_counts=run.routed_counts,
             busy_seconds=run.busy_seconds,
+            steering=run.steering,
+            router_stats=getattr(self.router, "decision_stats", {}) or {},
+            directory_stats=getattr(self.router, "directory_stats", None),
+            scenario=[event.to_dict() for event in self.scenario],
         )
+        # Run-end teardown: detach the router's tree observers so the
+        # caches stop paying directory maintenance outside cluster runs.
+        release = getattr(self.router, "release", None)
+        if release is not None:
+            release()
+        return result
 
 
 def simulate_cluster(
@@ -144,6 +221,9 @@ def simulate_cluster(
     trace: Trace,
     latency: Optional[LatencyModel] = None,
     max_running: int = 1,
+    scenario: Optional[Sequence[ScenarioEvent]] = None,
 ) -> ClusterResult:
     """One-call convenience wrapper around :class:`ClusterSimulator`."""
-    return ClusterSimulator(model, caches, router, latency, max_running).run(trace)
+    return ClusterSimulator(
+        model, caches, router, latency, max_running, scenario=scenario
+    ).run(trace)

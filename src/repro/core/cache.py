@@ -202,6 +202,9 @@ class MarconiCache(PrefixCache):
             self.policy.bind_index(self._index)
         else:
             self._index = None
+        # External observers (router directories) follow the live tree and
+        # resync themselves via their on_tree_attached hook.
+        self._reattach_tree_observers(tree)
 
     @property
     def eviction_index(self) -> Optional[EvictionIndex]:

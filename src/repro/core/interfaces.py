@@ -290,6 +290,53 @@ class PrefixCache(abc.ABC):
     _mutating: bool = False  # True while a cache operation is in progress
     _draining: bool = False  # reentrancy guard for the deferred-abort drain
     _deferred_aborts: Optional[list["RequestSession"]] = None
+    _external_tree_observers: Optional[list[Any]] = None
+
+    # ------------------------------------------------------------------
+    # Tree-observer export hooks (router directories, external indexes)
+    # ------------------------------------------------------------------
+    def add_tree_observer(self, observer: Any) -> bool:
+        """Attach an external observer to this cache's radix tree.
+
+        Returns True when the cache exposes an observable tree; False for
+        tree-less caches (block stores), whose callers must fall back to
+        probing.  Registered observers survive tree replacement: any code
+        path that swaps in a new tree (``reset()``, persistence reload)
+        must route through :meth:`_reattach_tree_observers`, which re-adds
+        every registered observer and notifies it via its optional
+        ``on_tree_attached(tree)`` callback so it can resynchronize.
+        """
+        tree = getattr(self, "tree", None)
+        add = getattr(tree, "add_observer", None)
+        if add is None:
+            return False
+        if self._external_tree_observers is None:
+            self._external_tree_observers = []
+        self._external_tree_observers.append(observer)
+        add(observer)
+        return True
+
+    def remove_tree_observer(self, observer: Any) -> None:
+        """Detach an observer registered with :meth:`add_tree_observer`."""
+        if self._external_tree_observers is not None:
+            try:
+                self._external_tree_observers.remove(observer)
+            except ValueError:
+                pass
+        tree = getattr(self, "tree", None)
+        remove = getattr(tree, "remove_observer", None)
+        if remove is not None:
+            remove(observer)
+
+    def _reattach_tree_observers(self, tree: Any) -> None:
+        """Re-bind registered external observers to a replacement tree."""
+        if not self._external_tree_observers:
+            return
+        for observer in self._external_tree_observers:
+            tree.add_observer(observer)
+            hook = getattr(observer, "on_tree_attached", None)
+            if hook is not None:
+                hook(tree)
 
     # ------------------------------------------------------------------
     # Session hooks (per-policy)

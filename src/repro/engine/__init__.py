@@ -35,6 +35,12 @@ from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
 from repro.engine.results import EngineResult, RequestRecord, step_time_weighted_mean
 from repro.engine.server import ServingSimulator, simulate_trace
+from repro.engine.steering import (
+    RouteDecision,
+    ScenarioEvent,
+    SteeringTelemetry,
+    TransferSpec,
+)
 
 __all__ = [
     "Event",
@@ -58,4 +64,8 @@ __all__ = [
     "step_time_weighted_mean",
     "ServingSimulator",
     "simulate_trace",
+    "RouteDecision",
+    "TransferSpec",
+    "ScenarioEvent",
+    "SteeringTelemetry",
 ]

@@ -21,11 +21,17 @@ class EventKind(enum.IntEnum):
     Enum order is the tie-break at equal timestamps: completions and
     prefill-done fire before new arrivals so freshly freed capacity and
     freshly admitted states are visible to same-instant arrivals.
+    Cross-replica transfer completions and cluster control events (replica
+    fail/drain/join) sort after arrivals — a transfer or topology change
+    stamped at time ``t`` takes effect only once every request arriving at
+    ``t`` has been routed against the pre-change cluster state.
     """
 
     PREFILL_DONE = 0
     REQUEST_COMPLETE = 1
     REQUEST_ARRIVAL = 2
+    TRANSFER_DONE = 3
+    CONTROL = 4
 
 
 @dataclass(order=True)

@@ -19,7 +19,16 @@ place that loop lives.  The kernel owns the pieces every engine shares:
   :class:`~repro.cluster.router.Router` over N replicas) and per-replica
   telemetry: routed counts, busy seconds, and queue-depth /
   running-executors change-point timeseries in every
-  :class:`~repro.engine.results.EngineResult`.
+  :class:`~repro.engine.results.EngineResult`;
+* cluster steering execution: routers return
+  :class:`~repro.engine.steering.RouteDecision` verdicts whose optional
+  :class:`~repro.engine.steering.TransferSpec` the kernel charges as an
+  asynchronous bandwidth/latency ``TRANSFER_DONE`` event (the request is
+  parked until the copied state lands in the target's second tier), and
+  :class:`~repro.engine.steering.ScenarioEvent` schedules make replicas
+  fail (transactional session aborts + orphan re-routing), drain, and
+  join mid-run, all accounted into
+  :class:`~repro.engine.steering.SteeringTelemetry`.
 
 Determinism protocol: a run's transcript is a pure function of
 ``(trace, model, latency, caches, router, KernelConfig)``.  Every run
@@ -45,9 +54,20 @@ from repro.engine.events import EventKind, EventQueue
 from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
 from repro.engine.results import EngineResult, RequestRecord
+from repro.engine.steering import (
+    RouteDecision,
+    ScenarioEvent,
+    SteeringTelemetry,
+    TransferSpec,
+    pick_least_loaded,
+)
 from repro.models.config import ModelConfig
 from repro.models.flops import model_prefill_flops, model_suffix_prefill_flops
 from repro.workloads.trace import Trace
+
+#: Load reported for replicas that must not receive new requests (failed
+#: or draining): large enough that every load-aware policy avoids them.
+DEAD_LOAD = 1 << 30
 
 
 class VirtualClock:
@@ -100,6 +120,15 @@ class _InFlight:
     session: RequestSession  # lookup outcome (hit/reused bytes) lives here
     service_start: float
     prefill_seconds: float
+
+
+@dataclass
+class _PendingTransfer:
+    """A parked request waiting for its cross-replica state transfer."""
+
+    request: EngineRequest
+    spec: TransferSpec
+    started: float
 
 
 @dataclass
@@ -209,6 +238,7 @@ class ContinuousBatchingScheduler(ReplicaScheduler):
         # Hot-path bindings (schedulers are per-run, like the event queue).
         self._push = kernel.events.push
         self._records = kernel.results[replica].records
+        self._track_active = kernel._track_active
 
     @property
     def queue_depth(self) -> int:
@@ -233,6 +263,14 @@ class ContinuousBatchingScheduler(ReplicaScheduler):
         )
         self.free_slots -= n_start
         for request, session in zip(batch, sessions):
+            if self._track_active:  # scenario runs: failover needs the registry
+                # [replica, request, session, prefill_done]
+                kernel._active_sessions[id(session)] = [
+                    self.replica,
+                    request,
+                    session,
+                    False,
+                ]
             prefill_seconds = kernel.latency.prefill_seconds(
                 kernel.model,
                 seq_len=request.input_len,
@@ -253,6 +291,10 @@ class ContinuousBatchingScheduler(ReplicaScheduler):
             )
 
     def on_step_done(self, flight: _InFlight, now: float) -> None:
+        if self._track_active and not flight.session.is_open:
+            # The replica failed mid-prefill: the session was aborted and
+            # the request re-routed; this completion is a ghost.
+            return
         kernel = self.kernel
         request = flight.request
         self._records.append(
@@ -274,6 +316,10 @@ class ContinuousBatchingScheduler(ReplicaScheduler):
         )
         kernel.busy_seconds[self.replica] += flight.prefill_seconds
         self.free_slots += 1
+        if self._track_active:
+            entry = kernel._active_sessions.get(id(flight.session))
+            if entry is not None:
+                entry[3] = True  # record emitted; the request is decoding now
         self._push(
             now + kernel.latency.decode_seconds(request.output_len),
             EventKind.REQUEST_COMPLETE,
@@ -453,6 +499,7 @@ class KernelRun:
     schedulers: list[ReplicaScheduler]
     n_events: int
     end_time: float
+    steering: Optional[SteeringTelemetry] = None
 
 
 class SimulationKernel:
@@ -473,16 +520,20 @@ class SimulationKernel:
         config: Optional[KernelConfig] = None,
         scheduler_factory: Optional[SchedulerFactory] = None,
         policy_names: Optional[Sequence[str]] = None,
+        scenario: Optional[Sequence[ScenarioEvent]] = None,
     ) -> None:
         if not caches:
             raise ValueError("need at least one replica cache")
         if router is None and len(caches) > 1:
             raise ValueError("multi-replica kernels need a router")
+        if scenario and router is None:
+            raise ValueError("scenario schedules need a router to re-route around")
         self.model = model
         self.caches = list(caches)
         self.latency = latency or LatencyModel()
         self.router = router
         self.config = config or KernelConfig()
+        self.scenario = sorted(scenario, key=lambda ev: ev.time) if scenario else []
         self._scheduler_factory = scheduler_factory or (
             lambda kernel, replica: ContinuousBatchingScheduler(
                 kernel, replica, kernel.config.max_running
@@ -493,12 +544,18 @@ class SimulationKernel:
         if len(policy_names) != len(self.caches):
             raise ValueError("need one policy name per replica cache")
         self.policy_names = list(policy_names)
+        # Joins grow the replica lists mid-run; remember the configured
+        # fleet so repeated run() calls start from the same topology.
+        self._initial_caches = tuple(self.caches)
+        self._initial_policy_names = tuple(self.policy_names)
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> KernelRun:
         """Replay the full trace; per-run state is rebuilt from scratch."""
+        self.caches = list(self._initial_caches)
+        self.policy_names = list(self._initial_policy_names)
         n = len(self.caches)
         self.clock = VirtualClock()
         self.events = EventQueue()
@@ -509,6 +566,15 @@ class SimulationKernel:
             )
             for i in range(n)
         ]
+        # Steering state (zero-overhead unless a scenario is scheduled: the
+        # in-flight registry and ghost-event checks are only active for
+        # failover runs; set before the factories so schedulers can bind it).
+        self.alive = [True] * n
+        self.draining = [False] * n
+        self._track_active = bool(self.scenario)
+        self._active_sessions: dict[int, list] = {}
+        self._interrupted_requests: set[int] = set()
+        self._override_rotation = 0
         # Results must exist before the factories run: schedulers may bind
         # their replica's record list for the hot path.
         self.schedulers = [self._scheduler_factory(self, i) for i in range(n)]
@@ -520,6 +586,15 @@ class SimulationKernel:
         # so change-point detection is two int compares per event.
         self._last_depth = [-1] * n
         self._last_running = [-1] * n
+        self.steering = SteeringTelemetry()
+        for _ in range(n):
+            self.steering.add_replica()
+        if self.router is not None:
+            prepare = getattr(self.router, "prepare", None)
+            if prepare is not None:
+                prepare(self.model, self.caches, self.latency)
+        for control in self.scenario:
+            self.events.push(control.time, EventKind.CONTROL, control)
 
         for session in trace.sessions:
             self.events.push(
@@ -530,11 +605,16 @@ class SimulationKernel:
 
         # The event loop is the simulator's hot path: dispatch is inlined
         # and bound to locals (one run processes 3+ events per request).
+        # Joins append to self.schedulers in place, so the local alias
+        # stays valid across topology changes.
         events = self.events
         clock = self.clock
         schedulers = self.schedulers
+        track_active = self._track_active
         arrival_kind = int(EventKind.REQUEST_ARRIVAL)
         prefill_kind = int(EventKind.PREFILL_DONE)
+        complete_kind = int(EventKind.REQUEST_COMPLETE)
+        transfer_kind = int(EventKind.TRANSFER_DONE)
         n_events = 0
         while events:
             event = events.pop()
@@ -548,8 +628,21 @@ class SimulationKernel:
                 self._sample(replica, now)
             elif kind == arrival_kind:
                 self._admit(payload, now)
-            else:  # REQUEST_COMPLETE: background decode finished
-                self.finish_request(payload.request, payload.session, now)
+            elif kind == complete_kind:  # background decode finished
+                if not track_active:
+                    self.finish_request(payload.request, payload.session, now)
+                elif payload.session.is_open:
+                    self._active_sessions.pop(id(payload.session), None)
+                    self.finish_request(payload.request, payload.session, now)
+                elif id(payload.request) in self._interrupted_requests:
+                    # Ghost completion of a decode the failure interrupted:
+                    # its record stands; only the closed loop continues.
+                    self._interrupted_requests.discard(id(payload.request))
+                    self._schedule_next_round(payload.request, now)
+            elif kind == transfer_kind:
+                self._finish_transfer(payload, now)
+            else:  # CONTROL: scenario topology change
+                self._apply_scenario(payload, now)
         self._n_events += n_events
 
         for index, cache in enumerate(self.caches):
@@ -563,21 +656,208 @@ class SimulationKernel:
             schedulers=self.schedulers,
             n_events=self._n_events,
             end_time=self.clock.now,
+            steering=self.steering,
         )
 
     def _admit(self, request: EngineRequest, now: float) -> None:
         replica = 0
+        transfer: Optional[TransferSpec] = None
         if self.router is not None:
-            replica = self.router.route(
-                request.input_tokens, request.session_id, self.caches, self.loads(), now
-            )
+            decide = getattr(self.router, "decide", None)
+            if decide is not None:
+                decision: RouteDecision = decide(
+                    request.input_tokens,
+                    request.session_id,
+                    self.caches,
+                    self.loads(),
+                    now,
+                )
+                replica, transfer = decision.replica, decision.transfer
+            else:
+                replica = self.router.route(
+                    request.input_tokens,
+                    request.session_id,
+                    self.caches,
+                    self.loads(),
+                    now,
+                )
             if not 0 <= replica < len(self.caches):
                 raise ValueError(
                     f"router {self.router.name!r} returned invalid replica {replica}"
                 )
+            if not self._routable(replica):
+                replica = self._fallback_alive()
+                transfer = None  # the plan targeted the unroutable replica
+                self.steering.bump("overrides")
+        if transfer is not None and self._transfer_feasible(transfer, replica):
+            # Park the request: it enters its replica's queue only once the
+            # state copy lands, so its TTFT carries the transfer wait.
+            self.steering.bump("transfers_planned")
+            self.events.push(
+                now + self.latency.transfer_seconds(transfer.nbytes),
+                EventKind.TRANSFER_DONE,
+                _PendingTransfer(request=request, spec=transfer, started=now),
+            )
+            return
+        self._enqueue(request, replica, now)
+
+    def _enqueue(self, request: EngineRequest, replica: int, now: float) -> None:
         self.routed_counts[replica] += 1
         self.schedulers[replica].enqueue(request, now)
         self._sample(replica, now)
+
+    # ------------------------------------------------------------------
+    # Steering: transfers and scenario control
+    # ------------------------------------------------------------------
+    def _routable(self, replica: int) -> bool:
+        return self.alive[replica] and not self.draining[replica]
+
+    def _fallback_alive(self) -> int:
+        """Least-loaded routable replica (the router policy's own
+        selection rule; unroutable replicas read as DEAD_LOAD)."""
+        loads = [
+            (s.queue_depth + s.n_running) if self._routable(i) else DEAD_LOAD
+            for i, s in enumerate(self.schedulers)
+        ]
+        if min(loads) >= DEAD_LOAD:
+            raise RuntimeError("no routable replicas remain in the cluster")
+        choice = pick_least_loaded(loads, self._override_rotation)
+        self._override_rotation += 1
+        return choice
+
+    def _transfer_feasible(self, spec: TransferSpec, replica: int) -> bool:
+        return (
+            spec.target == replica
+            and spec.source != replica
+            and 0 <= spec.source < len(self.caches)
+            and self.alive[spec.source]
+            and hasattr(self.caches[replica], "receive_state_transfer")
+        )
+
+    def _finish_transfer(self, pending: _PendingTransfer, now: float) -> None:
+        spec = pending.spec
+        target = spec.target
+        if not self._routable(target):
+            # The target died or drained while the bytes were in flight:
+            # drop the copy and route the parked request afresh.
+            self.steering.bump("transfers_dropped")
+            self._admit(pending.request, now)
+            return
+        accepted = self.caches[target].receive_state_transfer(
+            spec.tokens, spec.nbytes, now
+        )
+        if accepted:
+            self.steering.record_transfer(
+                spec.source, target, spec.nbytes, now - pending.started
+            )
+            if spec.migrate and self.alive[spec.source]:
+                secondary = getattr(self.caches[spec.source], "secondary", None)
+                if secondary is not None and secondary.remove(spec.tokens) is not None:
+                    self.steering.bump("migrations")
+        else:
+            self.steering.bump("transfers_rejected")
+        self._enqueue(pending.request, target, now)
+
+    def _apply_scenario(self, control: ScenarioEvent, now: float) -> None:
+        if control.action == "join":
+            self._join_replica(control, now)
+            return
+        if not 0 <= control.replica < len(self.caches):
+            raise ValueError(
+                f"scenario {control.action!r} at t={control.time} names replica "
+                f"{control.replica}, but the cluster has {len(self.caches)}"
+            )
+        if control.action == "fail":
+            self._fail_replica(control.replica, now)
+        elif self.alive[control.replica] and not self.draining[control.replica]:
+            self.draining[control.replica] = True
+            self.steering.bump("drains")
+
+    def _fail_replica(self, replica: int, now: float) -> None:
+        if not self.alive[replica]:
+            return
+        self.alive[replica] = False
+        self.steering.bump("failures")
+        scheduler = self.schedulers[replica]
+        orphans: list[EngineRequest] = []
+        # Queued requests never opened sessions; just re-route them.
+        queue = getattr(scheduler, "queue", None)
+        if queue is not None:
+            orphans.extend(queue)
+            queue.clear()
+        # Release the occupied slots: the ghost completions of aborted
+        # flights return early and would otherwise leave the corpse's
+        # running-executor telemetry frozen at its at-failure value.
+        if isinstance(scheduler, ContinuousBatchingScheduler):
+            scheduler.free_slots = scheduler.max_running
+        # In-flight requests (prefilling or decoding) abort their sessions
+        # through the transactional path, releasing every pin they hold.
+        # Mid-prefill requests were never served: they re-route and get
+        # their (single) record elsewhere.  Mid-decode requests already
+        # emitted their record; re-serving them would double-count the
+        # round, so instead their session simply continues — the next
+        # round is scheduled as if the decode had just finished (the
+        # cache admission of the interrupted round is lost with the
+        # replica).
+        interrupted: list[EngineRequest] = []
+        for key, (owner, request, session, prefill_done) in list(
+            self._active_sessions.items()
+        ):
+            if owner == replica:
+                session.abort()
+                del self._active_sessions[key]
+                self.steering.bump("aborted_sessions")
+                if prefill_done:
+                    interrupted.append(request)
+                else:
+                    orphans.append(request)
+        # The replica's memory is gone: wipe its cache (detaching anything
+        # the abort pass could not reach) and invalidate the directory.
+        cache = self.caches[replica]
+        if hasattr(cache, "reset"):
+            cache.reset()
+        if self.router is not None:
+            on_left = getattr(self.router, "on_replica_left", None)
+            if on_left is not None:
+                on_left(replica)
+        # Orphans keep their original arrival times, so the TTFT of a
+        # re-routed request includes everything the failure cost it.
+        for request in sorted(orphans, key=lambda r: r.arrival_time):
+            self.steering.bump("reroutes")
+            self._admit(request, now)
+        for request in interrupted:
+            self.steering.bump("interrupted_decodes")
+            # The session's next round fires off the ghost REQUEST_COMPLETE
+            # already in the queue — the decode's true completion time —
+            # not off the failure instant, which would let the client
+            # "respond" to an answer it never finished receiving.
+            self._interrupted_requests.add(id(request))
+        self._sample(replica, now)
+
+    def _join_replica(self, control: ScenarioEvent, now: float) -> None:
+        cache = control.cache_factory()
+        index = len(self.caches)
+        self.caches.append(cache)
+        name = control.name or f"{self.policy_names[0].rsplit('/', 1)[0]}/replica{index}"
+        self.policy_names.append(name)
+        self.results.append(
+            EngineResult(policy=name, max_running=self.config.max_running)
+        )
+        # The result must exist before the factory runs (hot-path binding).
+        self.schedulers.append(self._scheduler_factory(self, index))
+        self.routed_counts.append(0)
+        self.busy_seconds.append(0.0)
+        self._last_depth.append(-1)
+        self._last_running.append(-1)
+        self.alive.append(True)
+        self.draining.append(False)
+        self.steering.add_replica()
+        self.steering.bump("joins")
+        if self.router is not None:
+            on_joined = getattr(self.router, "on_replica_joined", None)
+            if on_joined is not None:
+                on_joined(index, cache)
+        self._sample(index, now)
 
     # ------------------------------------------------------------------
     # Services for schedulers
@@ -587,8 +867,19 @@ class SimulationKernel:
         self.events.push(time, kind, payload)
 
     def loads(self) -> list[int]:
-        """Per-replica in-flight request counts (queued + running)."""
-        return [s.queue_depth + s.n_running for s in self.schedulers]
+        """Per-replica in-flight request counts (queued + running).
+
+        Failed and draining replicas report :data:`DEAD_LOAD` so every
+        load-aware policy steers around them without knowing about
+        topology; content-blind picks are corrected by the kernel's
+        routable-fallback (counted as ``overrides``).
+        """
+        if not self._track_active:
+            return [s.queue_depth + s.n_running for s in self.schedulers]
+        return [
+            (s.queue_depth + s.n_running) if self._routable(i) else DEAD_LOAD
+            for i, s in enumerate(self.schedulers)
+        ]
 
     def emit_record(self, replica: int, record: RequestRecord) -> None:
         self.results[replica].records.append(record)
@@ -599,6 +890,9 @@ class SimulationKernel:
         """Commit the finished sequence and schedule the session's next
         round after its think-time gap (closed-loop within sessions)."""
         session.commit(request.full_tokens, now)
+        self._schedule_next_round(request, now)
+
+    def _schedule_next_round(self, request: EngineRequest, now: float) -> None:
         trace_session = self._sessions_by_id[request.session_id]
         next_round = request.round_index + 1
         if next_round < trace_session.n_rounds:

@@ -31,6 +31,10 @@ class LatencyModel:
     prefill_overhead_s: float = 0.004
     fetch_bandwidth_bytes_per_s: float = 25e9
     secondary_fetch_bandwidth_bytes_per_s: float = 8e9
+    # Cross-replica state transfers (cluster steering): an RDMA-ish
+    # inter-node link — per-transfer launch latency plus a bandwidth term.
+    transfer_bandwidth_bytes_per_s: float = 12e9
+    transfer_latency_s: float = 0.003
 
     def __post_init__(self) -> None:
         if self.peak_flops_per_s <= 0 or not 0 < self.mfu <= 1:
@@ -41,6 +45,10 @@ class LatencyModel:
             raise ValueError("fetch_bandwidth_bytes_per_s must be positive")
         if self.secondary_fetch_bandwidth_bytes_per_s <= 0:
             raise ValueError("secondary_fetch_bandwidth_bytes_per_s must be positive")
+        if self.transfer_bandwidth_bytes_per_s <= 0:
+            raise ValueError("transfer_bandwidth_bytes_per_s must be positive")
+        if self.transfer_latency_s < 0:
+            raise ValueError("transfer_latency_s must be non-negative")
 
     @property
     def effective_flops_per_s(self) -> float:
@@ -81,3 +89,9 @@ class LatencyModel:
         if n_tokens < 0:
             raise ValueError(f"n_tokens must be non-negative, got {n_tokens}")
         return n_tokens * self.decode_seconds_per_token
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to copy ``nbytes`` of cached state between two replicas."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.transfer_latency_s + nbytes / self.transfer_bandwidth_bytes_per_s

@@ -1,0 +1,178 @@
+"""Cluster steering primitives shared by the kernel and the cluster layer.
+
+These types sit below :mod:`repro.cluster` so the simulation kernel can
+execute steering decisions without importing the router package (which
+imports the kernel): a router *plans* (``RouteDecision`` with an optional
+``TransferSpec``), the kernel *executes* (charges the transfer as an
+asynchronous bandwidth/latency event, applies scenario control events,
+and accounts everything into :class:`SteeringTelemetry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+_SCENARIO_ACTIONS = ("fail", "drain", "join")
+
+
+def pick_least_loaded(loads: Sequence[int], rotation: int) -> int:
+    """Index of the lowest load, ties broken by rotating round-robin.
+
+    The one least-loaded selection rule, shared by
+    :class:`repro.cluster.router.LeastLoadedRouter` (and the routers that
+    spill through it) and the kernel's failover fallback, so the two can
+    never silently diverge.  ``rotation`` is the caller-held tie-break
+    counter (increment it after each pick).
+    """
+    floor = min(loads)
+    tied = [index for index, load in enumerate(loads) if load == floor]
+    return tied[rotation % len(tied)]
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One planned cross-replica state transfer.
+
+    ``tokens`` is the prefix whose self-contained state (recurrent
+    checkpoint plus the prefix's KVs, ``nbytes`` total) is copied from
+    ``source``'s cache into ``target``'s second-tier store; the request
+    that triggered the plan is parked until the transfer event completes.
+    ``migrate=True`` additionally removes the span from the source's
+    second-tier store once the copy lands (primary-tree state is always
+    replicated, never torn out of the source tree).
+    """
+
+    source: int
+    target: int
+    tokens: np.ndarray
+    nbytes: int
+    migrate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("transfer source and target must differ")
+        if self.nbytes <= 0:
+            raise ValueError(f"transfer nbytes must be positive, got {self.nbytes}")
+        if len(self.tokens) == 0:
+            raise ValueError("cannot transfer an empty prefix")
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """A router's full verdict for one arrival: replica plus optional transfer."""
+
+    replica: int
+    transfer: Optional[TransferSpec] = None
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One entry of a cluster scenario schedule.
+
+    Actions
+    -------
+    ``fail``
+        Replica ``replica`` dies at ``time``: its in-flight sessions are
+        aborted (the transactional abort path), its cache is reset, the
+        routing directory is invalidated for it, and every orphaned
+        request is re-routed to a surviving replica.
+    ``drain``
+        Replica ``replica`` stops receiving new requests but finishes its
+        queued and running work; its cache stays warm (it can still serve
+        as a transfer source).
+    ``join``
+        A fresh replica built by ``cache_factory()`` comes up at ``time``
+        and immediately becomes routable.
+    """
+
+    time: float
+    action: str
+    replica: Optional[int] = None
+    cache_factory: Optional[Callable[[], Any]] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _SCENARIO_ACTIONS:
+            raise ValueError(
+                f"unknown scenario action {self.action!r}; known: {_SCENARIO_ACTIONS}"
+            )
+        if self.time < 0:
+            raise ValueError(f"scenario time must be non-negative, got {self.time}")
+        if self.action in ("fail", "drain"):
+            if self.replica is None:
+                raise ValueError(f"{self.action!r} scenario events need a replica index")
+            if self.replica < 0:
+                raise ValueError(
+                    f"scenario replica index must be non-negative, got {self.replica}"
+                )
+        if self.action == "join" and self.cache_factory is None:
+            raise ValueError("'join' scenario events need a cache_factory")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view (the factory is reduced to its name)."""
+        out: dict = {"time": self.time, "action": self.action}
+        if self.replica is not None:
+            out["replica"] = self.replica
+        if self.name is not None:
+            out["name"] = self.name
+        if self.cache_factory is not None:
+            out["cache_factory"] = getattr(
+                self.cache_factory, "__name__", repr(self.cache_factory)
+            )
+        return out
+
+
+@dataclass
+class SteeringTelemetry:
+    """Everything the kernel measured about steering during one run.
+
+    Per-replica lists are indexed like the kernel's replica lists and grow
+    when replicas join mid-run.  ``counters`` holds scalar decision and
+    scenario counters; see :meth:`to_dict` for the exported shape.
+    """
+
+    transfer_bytes_in: list[int] = field(default_factory=list)
+    transfer_bytes_out: list[int] = field(default_factory=list)
+    transfer_seconds_in: list[float] = field(default_factory=list)
+    transfers_in: list[int] = field(default_factory=list)
+    transfers_out: list[int] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def add_replica(self) -> None:
+        self.transfer_bytes_in.append(0)
+        self.transfer_bytes_out.append(0)
+        self.transfer_seconds_in.append(0.0)
+        self.transfers_in.append(0)
+        self.transfers_out.append(0)
+
+    def bump(self, key: str, by: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + by
+
+    def record_transfer(
+        self, source: int, target: int, nbytes: int, seconds: float
+    ) -> None:
+        self.transfer_bytes_out[source] += nbytes
+        self.transfer_bytes_in[target] += nbytes
+        self.transfer_seconds_in[target] += seconds
+        self.transfers_out[source] += 1
+        self.transfers_in[target] += 1
+        self.bump("transfers_completed")
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        return sum(self.transfer_bytes_in)
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "per_replica": {
+                "transfer_bytes_in": list(self.transfer_bytes_in),
+                "transfer_bytes_out": list(self.transfer_bytes_out),
+                "transfer_seconds_in": list(self.transfer_seconds_in),
+                "transfers_in": list(self.transfers_in),
+                "transfers_out": list(self.transfers_out),
+            },
+        }

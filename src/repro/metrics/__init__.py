@@ -1,6 +1,9 @@
 """Metrics: token hit rate, TTFT percentiles, FLOP savings, and summaries."""
 
 from repro.metrics.export import (
+    cluster_summary_dict,
+    cluster_summary_from_json,
+    cluster_summary_to_json,
     records_from_csv,
     records_to_csv,
     summary_dict,
@@ -48,4 +51,7 @@ __all__ = [
     "summary_dict",
     "summary_to_json",
     "summary_from_json",
+    "cluster_summary_dict",
+    "cluster_summary_to_json",
+    "cluster_summary_from_json",
 ]

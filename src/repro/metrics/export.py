@@ -80,12 +80,33 @@ def summary_dict(result: EngineResult) -> dict:
     return summary
 
 
+def _write_json(payload: dict, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def summary_to_json(result: EngineResult, path: str | Path) -> None:
     """Write :func:`summary_dict` as pretty-printed JSON."""
-    path = Path(path)
-    path.write_text(json.dumps(summary_dict(result), indent=2, sort_keys=True) + "\n")
+    _write_json(summary_dict(result), path)
 
 
 def summary_from_json(path: str | Path) -> dict:
-    """Load a summary written by :func:`summary_to_json`."""
+    """Load a summary written by :func:`summary_to_json` (or its cluster
+    counterpart :func:`cluster_summary_to_json`)."""
     return json.loads(Path(path).read_text())
+
+
+def cluster_summary_dict(result) -> dict:
+    """Aggregate view of one cluster run (duck-typed on
+    :meth:`repro.cluster.simulator.ClusterResult.to_dict`): cluster-wide
+    hit rate and TTFT percentiles, per-replica summaries, steering and
+    directory telemetry, and the scenario schedule — so cluster runs land
+    in the same reporting pipeline as single-engine runs."""
+    return result.to_dict()
+
+
+def cluster_summary_to_json(result, path: str | Path) -> None:
+    """Write :func:`cluster_summary_dict` as pretty-printed JSON."""
+    _write_json(cluster_summary_dict(result), path)
+
+
+cluster_summary_from_json = summary_from_json

@@ -42,6 +42,10 @@ class _StoreStats:
     evictions: int = 0
     evicted_bytes: int = 0
     rejected: int = 0
+    # Entries that arrived over the cluster interconnect (cross-replica
+    # state transfers) rather than by local demotion.
+    transfers_in: int = 0
+    transfer_bytes_in: int = 0
 
 
 class SecondaryStore:
@@ -145,6 +149,29 @@ class SecondaryStore:
         self._used += int(nbytes)
         self.stats.insertions += 1
         return True
+
+    def receive_transfer(
+        self,
+        tokens: np.ndarray,
+        nbytes: int,
+        now: float,
+        *,
+        flop_efficiency: float = 0.0,
+        payload: Any = None,
+    ) -> bool:
+        """Land a cross-replica state transfer in this store.
+
+        Same admission semantics as :meth:`insert` (the newest copy wins,
+        capacity is enforced by eviction), tracked separately so cluster
+        telemetry can tell replicated state from locally demoted state.
+        """
+        accepted = self.insert(
+            tokens, nbytes, now, flop_efficiency=flop_efficiency, payload=payload
+        )
+        if accepted:
+            self.stats.transfers_in += 1
+            self.stats.transfer_bytes_in += int(nbytes)
+        return accepted
 
     def remove(self, tokens: np.ndarray) -> Optional[SecondaryEntry]:
         """Remove and return the entry for an exact prefix, if present."""

@@ -21,7 +21,7 @@ promoted state usable without the tree context it left behind.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -113,6 +113,44 @@ class TieredMarconiCache(MarconiCache):
             key = "demotions" if accepted else "demotions_rejected"
             self._stats.extra[key] = self._stats.extra.get(key, 0) + 1
         super()._apply_eviction(victim)
+
+    # ------------------------------------------------------------------
+    # Cross-replica state transfers (cluster steering hook)
+    # ------------------------------------------------------------------
+    def receive_state_transfer(
+        self, tokens: np.ndarray, nbytes: int, now: float, payload: Any = None
+    ) -> bool:
+        """Accept a self-contained prefix state copied from another replica.
+
+        The span lands in the *second* tier — the same place local
+        demotions go — so the very next request extending this prefix
+        promotes it through the standard tiering path and pays the
+        second-tier fetch bandwidth for it.  Returns False when the model
+        cannot use self-contained states (no recurrent layers) or the
+        second tier is disabled or rejects the entry.
+        """
+        tokens = as_token_array(tokens)
+        if nbytes <= 0:
+            raise ValueError(f"transfer nbytes must be positive, got {nbytes}")
+        if (
+            len(tokens) == 0
+            or not self.model.has_recurrent_layers
+            or self.secondary.capacity_bytes <= 0
+        ):
+            self._stats.extra["transfers_rejected"] = (
+                self._stats.extra.get("transfers_rejected", 0) + 1
+            )
+            return False
+        accepted = self.secondary.receive_transfer(
+            tokens,
+            int(nbytes),
+            now,
+            flop_efficiency=model_prefill_flops(self.model, len(tokens)) / int(nbytes),
+            payload=payload,
+        )
+        key = "transfers_in" if accepted else "transfers_rejected"
+        self._stats.extra[key] = self._stats.extra.get(key, 0) + 1
+        return accepted
 
     # ------------------------------------------------------------------
     # Promotion (begin hook)
