@@ -44,7 +44,7 @@ from repro.engine.steering import ScenarioEvent, SteeringTelemetry
 from repro.cluster.router import Router
 from repro.metrics.fairness import coefficient_of_variation, jain_fairness
 from repro.models.config import ModelConfig
-from repro.workloads.trace import Trace
+from repro.workloads.trace import Trace, TraceStream
 
 
 @dataclass
@@ -182,7 +182,7 @@ class ClusterSimulator:
             max_running=max_running, seed=seed, record_timeseries=record_timeseries
         )
 
-    def run(self, trace: Trace) -> ClusterResult:
+    def run(self, trace: Trace | TraceStream) -> ClusterResult:
         """Simulate the full trace across all replicas under the router."""
         kernel = SimulationKernel(
             self.model,
@@ -218,7 +218,7 @@ def simulate_cluster(
     model: ModelConfig,
     caches: Sequence[CacheProtocol],
     router: Router,
-    trace: Trace,
+    trace: Trace | TraceStream,
     latency: Optional[LatencyModel] = None,
     max_running: int = 1,
     scenario: Optional[Sequence[ScenarioEvent]] = None,

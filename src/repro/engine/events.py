@@ -70,8 +70,22 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
-    def push(self, time: float, kind: EventKind, payload: Any) -> None:
-        heapq.heappush(self._heap, Event(time, int(kind), next(self._seq), payload))
+    def push(
+        self, time: float, kind: EventKind, payload: Any, seq: Optional[int] = None
+    ) -> None:
+        """Schedule an event; ``seq`` overrides the queue's own counter.
+
+        Explicit sequence numbers exist for the kernel's streaming
+        admission path: session arrivals pulled lazily from a
+        :class:`~repro.workloads.trace.TraceStream` carry reserved
+        (negative) seqs so that, at equal ``(time, kind)``, they sort
+        exactly where the bulk path's up-front pushes would have put them
+        — before every event pushed during the run, in stream order.
+        """
+        heapq.heappush(
+            self._heap,
+            Event(time, int(kind), next(self._seq) if seq is None else seq, payload),
+        )
 
     def pop(self) -> Event:
         return heapq.heappop(self._heap)

@@ -43,7 +43,7 @@ from repro.engine.kernel import (
 from repro.engine.latency import LatencyModel
 from repro.engine.results import EngineResult
 from repro.models.config import ModelConfig
-from repro.workloads.trace import Trace
+from repro.workloads.trace import Trace, TraceStream
 
 
 @dataclass(frozen=True)
@@ -99,7 +99,7 @@ class IterationSimulator:
             max_running=1, seed=seed, record_timeseries=record_timeseries
         )
 
-    def run(self, trace: Trace) -> IterationResult:
+    def run(self, trace: Trace | TraceStream) -> IterationResult:
         """Simulate the full trace; returns records plus the TBT gap sample."""
         config = self.config
 
@@ -138,7 +138,7 @@ class IterationSimulator:
 def simulate_trace_iteration(
     model: ModelConfig,
     cache: CacheProtocol,
-    trace: Trace,
+    trace: Trace | TraceStream,
     latency: Optional[LatencyModel] = None,
     config: Optional[IterationConfig] = None,
     policy_name: str = "unnamed",

@@ -43,9 +43,10 @@ streams regardless of what else ran in the process.
 from __future__ import annotations
 
 import abc
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -63,11 +64,18 @@ from repro.engine.steering import (
 )
 from repro.models.config import ModelConfig
 from repro.models.flops import model_prefill_flops, model_suffix_prefill_flops
-from repro.workloads.trace import Trace
+from repro.workloads.trace import Trace, TraceSession, TraceStream
 
 #: Load reported for replicas that must not receive new requests (failed
 #: or draining): large enough that every load-aware policy avoids them.
 DEAD_LOAD = 1 << 30
+
+#: First sequence number of streamed session arrivals.  Reserved (negative)
+#: seqs make lazily pulled round-0 arrivals sort — at equal (time, kind) —
+#: before every event pushed during the run, in stream order: exactly the
+#: tie-break order the bulk path's up-front pushes produce, so a streamed
+#: replay is byte-identical to the materialized one.
+_STREAM_SEQ_START = -(1 << 62)
 
 
 class VirtualClock:
@@ -552,8 +560,17 @@ class SimulationKernel:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, trace: Trace) -> KernelRun:
-        """Replay the full trace; per-run state is rebuilt from scratch."""
+    def run(self, trace: Union[Trace, TraceStream]) -> KernelRun:
+        """Replay the full trace; per-run state is rebuilt from scratch.
+
+        A materialized :class:`Trace` is pushed into the event queue up
+        front (any session order).  A :class:`TraceStream` is *pulled*:
+        exactly one not-yet-arrived session is held at a time, and
+        ``_sessions_by_id`` drops sessions as their last round completes,
+        so memory scales with the number of concurrently active sessions
+        rather than the trace length.  The two admission paths produce
+        byte-identical transcripts (see :data:`_STREAM_SEQ_START`).
+        """
         self.caches = list(self._initial_caches)
         self.policy_names = list(self._initial_policy_names)
         n = len(self.caches)
@@ -580,7 +597,9 @@ class SimulationKernel:
         self.schedulers = [self._scheduler_factory(self, i) for i in range(n)]
         self.routed_counts = [0] * n
         self.busy_seconds = [0.0] * n
-        self._sessions_by_id = {s.session_id: s for s in trace.sessions}
+        self._streaming = isinstance(trace, TraceStream)
+        self._sessions_by_id: dict[int, TraceSession] = {}
+        self._stream_sessions: Optional[Iterator[TraceSession]] = None
         self._n_events = 0
         # Hot-loop telemetry state: last sampled (depth, running) per replica,
         # so change-point detection is two int compares per event.
@@ -596,12 +615,18 @@ class SimulationKernel:
         for control in self.scenario:
             self.events.push(control.time, EventKind.CONTROL, control)
 
-        for session in trace.sessions:
-            self.events.push(
-                session.arrival_time,
-                EventKind.REQUEST_ARRIVAL,
-                EngineRequest.from_session(session, 0, session.arrival_time),
-            )
+        if self._streaming:
+            self._stream_sessions = trace.iter_sessions()
+            self._stream_seq = itertools.count(_STREAM_SEQ_START)
+            self._push_next_session()
+        else:
+            self._sessions_by_id = {s.session_id: s for s in trace.sessions}
+            for session in trace.sessions:
+                self.events.push(
+                    session.arrival_time,
+                    EventKind.REQUEST_ARRIVAL,
+                    EngineRequest.from_session(session, 0, session.arrival_time),
+                )
 
         # The event loop is the simulator's hot path: dispatch is inlined
         # and bound to locals (one run processes 3+ events per request).
@@ -611,6 +636,7 @@ class SimulationKernel:
         clock = self.clock
         schedulers = self.schedulers
         track_active = self._track_active
+        streaming = self._streaming
         arrival_kind = int(EventKind.REQUEST_ARRIVAL)
         prefill_kind = int(EventKind.PREFILL_DONE)
         complete_kind = int(EventKind.REQUEST_COMPLETE)
@@ -627,6 +653,10 @@ class SimulationKernel:
                 schedulers[replica].on_step_done(payload, now)
                 self._sample(replica, now)
             elif kind == arrival_kind:
+                if streaming and payload.round_index == 0:
+                    # A streamed session just arrived: pull the next one
+                    # (its arrival is >= this one, so time stays monotone).
+                    self._push_next_session()
                 self._admit(payload, now)
             elif kind == complete_kind:  # background decode finished
                 if not track_active:
@@ -657,6 +687,24 @@ class SimulationKernel:
             n_events=self._n_events,
             end_time=self.clock.now,
             steering=self.steering,
+        )
+
+    def _push_next_session(self) -> None:
+        """Pull the next streamed session and schedule its first arrival.
+
+        Round-0 arrivals carry reserved stream seqs (see
+        :data:`_STREAM_SEQ_START`); only streamed sessions with rounds
+        still outstanding live in ``_sessions_by_id``.
+        """
+        session = next(self._stream_sessions, None)
+        if session is None:
+            return
+        self._sessions_by_id[session.session_id] = session
+        self.events.push(
+            session.arrival_time,
+            EventKind.REQUEST_ARRIVAL,
+            EngineRequest.from_session(session, 0, session.arrival_time),
+            seq=next(self._stream_seq),
         )
 
     def _admit(self, request: EngineRequest, now: float) -> None:
@@ -902,6 +950,10 @@ class SimulationKernel:
                 EventKind.REQUEST_ARRIVAL,
                 EngineRequest.from_session(trace_session, next_round, arrival),
             )
+        elif self._streaming:
+            # The session's last round is done: release its tokens so a
+            # streamed run holds only concurrently active sessions.
+            del self._sessions_by_id[request.session_id]
 
     def drain_arrivals_upto(self, now: float) -> None:
         """Admit every queued arrival event with time <= ``now`` immediately.
@@ -918,6 +970,10 @@ class SimulationKernel:
                 break
             event = events.pop()
             self._n_events += 1
+            if self._streaming and event.payload.round_index == 0:
+                # The freshly pulled session may itself arrive <= now; the
+                # loop keeps draining until the head moves past ``now``.
+                self._push_next_session()
             self._admit(event.payload, now)
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ from repro.engine.kernel import KernelConfig, SimulationKernel
 from repro.engine.latency import LatencyModel
 from repro.engine.results import EngineResult
 from repro.models.config import ModelConfig
-from repro.workloads.trace import Trace
+from repro.workloads.trace import Trace, TraceStream
 
 
 class ServingSimulator:
@@ -60,7 +60,7 @@ class ServingSimulator:
             max_running=n_executors, seed=seed, record_timeseries=record_timeseries
         )
 
-    def run(self, trace: Trace) -> EngineResult:
+    def run(self, trace: Trace | TraceStream) -> EngineResult:
         """Simulate the full trace; returns per-request records."""
         kernel = SimulationKernel(
             self.model,
@@ -75,7 +75,7 @@ class ServingSimulator:
 def simulate_trace(
     model: ModelConfig,
     cache: CacheProtocol,
-    trace: Trace,
+    trace: Trace | TraceStream,
     latency: Optional[LatencyModel] = None,
     policy_name: str = "unnamed",
     n_executors: int = 1,

@@ -15,9 +15,19 @@ from repro.experiments.config import (
     get_scale,
 )
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.parallel import (
+    RunSpec,
+    derive_point_seed,
+    execute_spec,
+    run_specs,
+)
 from repro.experiments.registry import FIGURES, run_figure
-from repro.experiments.runner import run_policy_on_trace, run_policies
-from repro.experiments.sweeps import SweepPoint, standard_sweep
+from repro.experiments.runner import (
+    ResultCache,
+    run_policies,
+    run_policy_on_trace,
+)
+from repro.experiments.sweeps import SweepPoint, standard_sweep, sweep_specs
 
 __all__ = [
     "Scale",
@@ -30,6 +40,12 @@ __all__ = [
     "run_figure",
     "run_policy_on_trace",
     "run_policies",
+    "ResultCache",
+    "RunSpec",
+    "derive_point_seed",
+    "execute_spec",
+    "run_specs",
     "SweepPoint",
     "standard_sweep",
+    "sweep_specs",
 ]

@@ -8,6 +8,8 @@ Examples::
     python -m repro.experiments --all --scale bench
     python -m repro.experiments --taxonomy swebench --sessions 40
     python -m repro.experiments --gen-trace lmsys --out lmsys.jsonl --sessions 80
+    python -m repro.experiments --gen-trace lmsys --stream --sessions 100000
+    python -m repro.experiments --sweep sharegpt --workers 4 --scale smoke
 """
 
 from __future__ import annotations
@@ -31,15 +33,68 @@ def _run_taxonomy(workload: str, sessions: int, seed: int) -> None:
     print(f"speculative-insertion splits: {report.branch_splits}")
 
 
-def _gen_trace(workload: str, out: str, sessions: int, seed: int) -> None:
-    from repro.workloads import generate_trace
+def _gen_trace(
+    workload: str,
+    out: str,
+    sessions: int,
+    seed: int,
+    arrival_process: str,
+    stream: bool,
+) -> None:
+    from repro.workloads import WorkloadParams, generate_trace, generate_trace_stream
 
-    trace = generate_trace(workload, n_sessions=sessions, seed=seed)
+    params = WorkloadParams(
+        n_sessions=sessions, seed=seed, arrival_process=arrival_process
+    )
+    if stream:
+        # Constant-memory path: sessions are generated and written one at
+        # a time, so session counts far beyond RAM are fine.
+        written = generate_trace_stream(workload, params).to_jsonl(out)
+        print(f"streamed {written} sessions to {out}")
+        return
+    trace = generate_trace(workload, params)
     trace.to_jsonl(out)
     print(
         f"wrote {trace.n_requests} requests "
         f"({trace.total_input_tokens} input tokens) to {out}"
     )
+
+
+def _run_sweep(dataset: str, scale: str, workers: int, out: str | None) -> None:
+    from repro.experiments.config import DEFAULT_POLICIES
+    from repro.experiments.sweeps import standard_sweep
+
+    started = time.perf_counter()
+    points = standard_sweep(dataset, scale, n_workers=workers)
+    elapsed = time.perf_counter() - started
+    header = f"{'point':<34}" + "".join(f"{p:>10}" for p in DEFAULT_POLICIES)
+    print(header)
+    for point in points:
+        row = f"{point.describe():<34}" + "".join(
+            f"{100 * point.hit_rate(policy):>9.1f}%" for policy in DEFAULT_POLICIES
+        )
+        print(row)
+    print(f"[{len(points)} points in {elapsed:.1f}s with {workers} worker(s)]")
+    if out:
+        import json
+
+        from repro.metrics.export import summary_dict
+
+        payload = [
+            {
+                "dataset": point.dataset,
+                "cache_gb": point.cache_gb,
+                "mean_think_s": point.mean_think_s,
+                "policies": {
+                    policy: summary_dict(result)
+                    for policy, result in point.results.items()
+                },
+            }
+            for point in points
+        ]
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote sweep summaries to {out}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,8 +114,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the reuse-taxonomy report of a workload")
     parser.add_argument("--gen-trace", metavar="WORKLOAD", default=None,
                         help="generate a workload trace and write it as JSONL")
-    parser.add_argument("--out", default="trace.jsonl",
-                        help="output path for --gen-trace (default: trace.jsonl)")
+    parser.add_argument("--stream", action="store_true",
+                        help="with --gen-trace: stream sessions to disk "
+                        "(constant memory, any session count)")
+    parser.add_argument("--arrival", default="poisson",
+                        choices=("poisson", "bursty", "diurnal", "flashcrowd"),
+                        help="arrival process for --gen-trace (default: poisson)")
+    parser.add_argument("--sweep", metavar="DATASET", default=None,
+                        help="run the standard cache x think-time sweep of a "
+                        "dataset (lmsys, sharegpt, swebench)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for --sweep (default: 1, serial)")
+    parser.add_argument("--out", default=None,
+                        help="output path for --gen-trace (default: trace.jsonl) "
+                        "or --sweep summaries (default: not written)")
     parser.add_argument("--sessions", type=int, default=50,
                         help="session count for --taxonomy/--gen-trace (default: 50)")
     parser.add_argument("--seed", type=int, default=0,
@@ -75,12 +142,24 @@ def main(argv: list[str] | None = None) -> int:
         _run_taxonomy(args.taxonomy, args.sessions, args.seed)
         return 0
     if args.gen_trace:
-        _gen_trace(args.gen_trace, args.out, args.sessions, args.seed)
+        _gen_trace(
+            args.gen_trace,
+            args.out or "trace.jsonl",
+            args.sessions,
+            args.seed,
+            args.arrival,
+            args.stream,
+        )
+        return 0
+    if args.sweep:
+        _run_sweep(args.sweep, args.scale, args.workers, args.out)
         return 0
 
     targets = sorted(FIGURES) if args.all else (args.figure or [])
     if not targets:
-        parser.error("pass --figure <id>, --all, --list, --taxonomy, or --gen-trace")
+        parser.error(
+            "pass --figure <id>, --all, --list, --taxonomy, --gen-trace, or --sweep"
+        )
     for figure_id in targets:
         started = time.perf_counter()
         result = run_figure(figure_id, args.scale)

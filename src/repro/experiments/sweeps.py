@@ -10,17 +10,16 @@ cache grid x think-time grid, all policies, one trace per arrival setting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.engine.results import EngineResult
 from repro.experiments.config import (
     DATASET_CONFIGS,
     DEFAULT_POLICIES,
     Scale,
-    default_latency,
-    default_model,
     get_scale,
 )
-from repro.experiments.runner import get_trace, run_policies
+from repro.experiments.parallel import RunSpec, run_specs
 
 
 @dataclass
@@ -39,35 +38,74 @@ class SweepPoint:
         return f"{self.dataset} cache={self.cache_gb:g}GB think={self.mean_think_s:g}s"
 
 
-def standard_sweep(
+def sweep_specs(
     dataset: str,
     scale: str | Scale = "bench",
     policies: tuple[str, ...] = DEFAULT_POLICIES,
-) -> list[SweepPoint]:
-    """Run the full cache-size x think-time grid for one dataset."""
+) -> list[RunSpec]:
+    """The full cache-size x think-time x policy grid as pickle-safe specs.
+
+    Specs are emitted grid-major (think, then cache size, then policy) and
+    tagged ``"think=<t>/cache=<gb>"`` so :func:`points_from_results` can
+    fold results back into :class:`SweepPoint` rows.
+    """
     scale = get_scale(scale)
     config = DATASET_CONFIGS[dataset]
-    model = default_model()
-    latency = default_latency()
-    points: list[SweepPoint] = []
+    specs: list[RunSpec] = []
     for think in config.think_grid_s:
-        trace = get_trace(
-            config.workload, config.workload_params(scale, mean_think_s=think)
-        )
+        params = config.workload_params(scale, mean_think_s=think)
         for cache_gb in config.cache_grid_gb:
-            results = run_policies(
-                model,
-                trace,
-                policies,
-                scale.cache_bytes(cache_gb),
-                latency=latency,
-            )
+            for policy in policies:
+                specs.append(
+                    RunSpec(
+                        workload=config.workload,
+                        params=params,
+                        policy=policy,
+                        capacity_bytes=scale.cache_bytes(cache_gb),
+                        tag=f"think={think:g}/cache={cache_gb:g}",
+                    )
+                )
+    return specs
+
+
+def points_from_results(
+    dataset: str,
+    scale: str | Scale,
+    policies: tuple[str, ...],
+    results: list[EngineResult],
+) -> list[SweepPoint]:
+    """Fold grid-major results (from :func:`sweep_specs` order) into points."""
+    scale = get_scale(scale)
+    config = DATASET_CONFIGS[dataset]
+    points: list[SweepPoint] = []
+    cursor = iter(results)
+    for think in config.think_grid_s:
+        for cache_gb in config.cache_grid_gb:
             points.append(
                 SweepPoint(
                     dataset=dataset,
                     cache_gb=cache_gb,
                     mean_think_s=think,
-                    results=results,
+                    results={policy: next(cursor) for policy in policies},
                 )
             )
     return points
+
+
+def standard_sweep(
+    dataset: str,
+    scale: str | Scale = "bench",
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    n_workers: Optional[int] = None,
+) -> list[SweepPoint]:
+    """Run the full cache-size x think-time grid for one dataset.
+
+    ``n_workers=None`` (the default) runs serially in-process, reusing the
+    process's trace/result caches; ``n_workers > 1`` fans the grid out
+    over a process pool (deterministic runs make the two paths
+    result-identical — the parallel engine's equivalence tests hold the
+    harness to that).
+    """
+    specs = sweep_specs(dataset, scale, policies)
+    results = run_specs(specs, n_workers=1 if n_workers is None else n_workers)
+    return points_from_results(dataset, scale, policies, results)

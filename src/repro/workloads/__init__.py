@@ -10,9 +10,13 @@ distributional targets taken from the paper's Fig. 6.
 """
 
 from repro.workloads.arrivals import (
+    ARRIVAL_PROCESS_NAMES,
+    DiurnalProcess,
+    FlashCrowdProcess,
     MarkovModulatedPoisson,
     PoissonProcess,
     exponential_think_times,
+    make_arrival_process,
 )
 from repro.workloads.distributions import (
     GeometricCount,
@@ -23,22 +27,36 @@ from repro.workloads.distributions import (
 from repro.workloads.docqa import DOCQA_SHAPE, generate_docqa_trace
 from repro.workloads.fewshot import FEWSHOT_SHAPE, generate_fewshot_trace
 from repro.workloads.lmsys import LMSYS_SHAPE, generate_lmsys_trace
-from repro.workloads.mixture import component_of, mix_traces
-from repro.workloads.registry import WORKLOAD_NAMES, generate_trace
+from repro.workloads.mixture import component_of, mix_streams, mix_traces
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    generate_trace,
+    generate_trace_stream,
+)
 from repro.workloads.selfconsistency import (
     SELFCONSISTENCY_SHAPE,
     SelfConsistencyShape,
+    generate_selfconsistency_stream,
     generate_selfconsistency_trace,
 )
-from repro.workloads.sessions import SessionShape, WorkloadParams, build_trace
+from repro.workloads.sessions import (
+    SessionShape,
+    WorkloadParams,
+    build_trace,
+    stream_trace,
+)
 from repro.workloads.sharegpt import SHAREGPT_SHAPE, generate_sharegpt_trace
 from repro.workloads.swebench import SWEBENCH_SHAPE, generate_swebench_trace
-from repro.workloads.trace import Trace, TraceRound, TraceSession
+from repro.workloads.trace import Trace, TraceRound, TraceSession, TraceStream
 from repro.workloads.vocab import SharedSegmentPool, fresh_tokens
 
 __all__ = [
     "PoissonProcess",
     "MarkovModulatedPoisson",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
+    "ARRIVAL_PROCESS_NAMES",
+    "make_arrival_process",
     "exponential_think_times",
     "LogNormalLength",
     "GeometricCount",
@@ -49,16 +67,19 @@ __all__ = [
     "Trace",
     "TraceRound",
     "TraceSession",
+    "TraceStream",
     "SessionShape",
     "SelfConsistencyShape",
     "WorkloadParams",
     "build_trace",
+    "stream_trace",
     "generate_lmsys_trace",
     "generate_sharegpt_trace",
     "generate_swebench_trace",
     "generate_docqa_trace",
     "generate_fewshot_trace",
     "generate_selfconsistency_trace",
+    "generate_selfconsistency_stream",
     "LMSYS_SHAPE",
     "SHAREGPT_SHAPE",
     "SWEBENCH_SHAPE",
@@ -66,7 +87,9 @@ __all__ = [
     "FEWSHOT_SHAPE",
     "SELFCONSISTENCY_SHAPE",
     "generate_trace",
+    "generate_trace_stream",
     "WORKLOAD_NAMES",
     "mix_traces",
+    "mix_streams",
     "component_of",
 ]

@@ -15,7 +15,10 @@ consumers (engine, cluster router, analysis) see one coherent trace;
 
 from __future__ import annotations
 
-from repro.workloads.trace import Trace, TraceSession
+import heapq
+from typing import Iterator, Sequence
+
+from repro.workloads.trace import Trace, TraceSession, TraceStream
 
 # Component session-id ranges are spaced this far apart; the mixture
 # refuses components larger than this so ids can never collide.
@@ -63,6 +66,74 @@ def mix_traces(traces: list[Trace], name: str | None = None) -> Trace:
         seed=traces[0].seed,
         sessions=sessions,
         metadata={"components": components},
+    )
+
+
+def _remap(session: TraceSession, offset: int) -> TraceSession:
+    return TraceSession(
+        session_id=offset + session.session_id,
+        arrival_time=session.arrival_time,
+        rounds=session.rounds,
+        think_times=session.think_times,
+    )
+
+
+def mix_streams(
+    streams: Sequence[TraceStream], name: str | None = None
+) -> TraceStream:
+    """Lazily interleave component streams on their shared timeline.
+
+    The streaming counterpart of :func:`mix_traces`: a heap merge over the
+    components' session iterators, holding one pending session per
+    component.  Ids are remapped with the same per-component offsets, and
+    ties are broken by the remapped session id — the same
+    ``(arrival_time, session_id)`` order :func:`mix_traces` sorts by — so
+    a mixed stream replays identically to the materialized mixture.
+
+    Component sizes are checked lazily: a component that yields its
+    :data:`_ID_STRIDE`-th session raises mid-iteration rather than up
+    front (streams may not know their length).
+    """
+    if not streams:
+        raise ValueError("need at least one component stream")
+    streams = list(streams)
+
+    def factory() -> Iterator[TraceSession]:
+        def component_iter(index: int, stream: TraceStream) -> Iterator[TraceSession]:
+            offset = index * _ID_STRIDE
+            count = 0
+            for session in stream.iter_sessions():
+                count += 1
+                if count > _ID_STRIDE - 1:
+                    raise ValueError(
+                        f"component {stream.name!r} exceeded "
+                        f"{_ID_STRIDE - 1} sessions; ids would collide"
+                    )
+                yield _remap(session, offset)
+
+        merged = heapq.merge(
+            *(component_iter(i, s) for i, s in enumerate(streams)),
+            key=lambda s: (s.arrival_time, s.session_id),
+        )
+        yield from merged
+
+    known = [s.n_sessions for s in streams]
+    return TraceStream(
+        name=name or "+".join(s.name for s in streams),
+        seed=streams[0].seed,
+        factory=factory,
+        n_sessions=sum(known) if all(n is not None for n in known) else None,
+        metadata={
+            "components": [
+                {
+                    "name": stream.name,
+                    "seed": stream.seed,
+                    "n_sessions": stream.n_sessions,
+                    "session_id_offset": index * _ID_STRIDE,
+                }
+                for index, stream in enumerate(streams)
+            ]
+        },
     )
 
 

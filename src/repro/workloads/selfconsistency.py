@@ -22,13 +22,15 @@ counts *queries*; each query emits one single-round session per sample.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.workloads.distributions import GeometricCount, LogNormalLength
 from repro.workloads.sessions import WorkloadParams, _pool_seed
-from repro.workloads.trace import Trace, TraceRound, TraceSession
+from repro.workloads.trace import Trace, TraceRound, TraceSession, TraceStream
 from repro.workloads.vocab import SharedSegmentPool, fresh_tokens
 
 
@@ -118,6 +120,82 @@ def build_selfconsistency_trace(
     )
 
 
+def _selfconsistency_session_generator(
+    shape: SelfConsistencyShape, params: WorkloadParams
+) -> Iterator[TraceSession]:
+    """Yield self-consistency sessions in arrival order, lazily.
+
+    Generation order is per-query, but sample dispatch jitter (bounded by
+    ``sample_spread_s``) lets a query's later samples land after the next
+    query's arrival.  A small reorder heap fixes that: a buffered session
+    at time ``t`` is safe to emit once a query arrives at ``base >= t``,
+    because every future session arrives at or after that base.  The
+    buffer therefore holds only the sessions inside one spread window.
+    """
+    rng = np.random.default_rng(params.seed)
+    pool = SharedSegmentPool(
+        base_seed=_pool_seed(shape.name, params.seed),
+        n_templates=shape.n_templates,
+        length=shape.template_length,
+        vocab_size=params.vocab_size,
+        zipf_exponent=shape.template_zipf,
+    )
+    query_arrivals = params.make_arrival_process().arrival_times(
+        rng, params.n_sessions
+    )
+    buffer: list[tuple[float, int, TraceSession]] = []
+    session_id = 0
+    for query_index in range(params.n_sessions):
+        base_arrival = float(query_arrivals[query_index])
+        while buffer and buffer[0][0] <= base_arrival:
+            yield heapq.heappop(buffer)[2]
+        k = shape.samples.sample(rng)
+        prompt = np.concatenate(
+            [
+                pool.sample(rng),
+                fresh_tokens(rng, shape.question.sample(rng), params.vocab_size),
+            ]
+        )
+        for sample_index in range(k):
+            offset = 0.0 if sample_index == 0 else float(
+                rng.uniform(0.0, shape.sample_spread_s)
+            )
+            output = fresh_tokens(rng, shape.output.sample(rng), params.vocab_size)
+            session = TraceSession(
+                session_id=session_id,
+                arrival_time=base_arrival + offset,
+                rounds=[TraceRound(new_input_tokens=prompt, output_tokens=output)],
+                think_times=[0.0],
+            )
+            heapq.heappush(buffer, (session.arrival_time, session_id, session))
+            session_id += 1
+    while buffer:
+        yield heapq.heappop(buffer)[2]
+
+
+def stream_selfconsistency_trace(
+    shape: SelfConsistencyShape, params: WorkloadParams
+) -> TraceStream:
+    """Lazily generate a self-consistency trace, sorted by arrival time.
+
+    Token content is identical to :func:`build_selfconsistency_trace` for
+    the same params (one RNG stream, same draw order); only the session
+    *order* differs — the stream yields by arrival time, the materialized
+    builder keeps per-query generation order.
+    """
+    return TraceStream(
+        name=shape.name,
+        seed=params.seed,
+        factory=lambda: _selfconsistency_session_generator(shape, params),
+        metadata={
+            "n_queries": params.n_sessions,
+            "session_rate": params.session_rate,
+            "mean_think_s": params.mean_think_s,
+            "vocab_size": params.vocab_size,
+        },
+    )
+
+
 def generate_selfconsistency_trace(
     params: WorkloadParams | None = None, **kwargs
 ) -> Trace:
@@ -127,3 +205,14 @@ def generate_selfconsistency_trace(
     elif kwargs:
         raise TypeError("pass either params or keyword overrides, not both")
     return build_selfconsistency_trace(SELFCONSISTENCY_SHAPE, params)
+
+
+def generate_selfconsistency_stream(
+    params: WorkloadParams | None = None, **kwargs
+) -> TraceStream:
+    """Streaming variant of :func:`generate_selfconsistency_trace`."""
+    if params is None:
+        params = WorkloadParams(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either params or keyword overrides, not both")
+    return stream_selfconsistency_trace(SELFCONSISTENCY_SHAPE, params)

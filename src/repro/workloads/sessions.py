@@ -25,12 +25,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.workloads.arrivals import (
-    MarkovModulatedPoisson,
-    PoissonProcess,
+    ARRIVAL_PROCESS_NAMES,
     exponential_think_times,
+    make_arrival_process,
 )
 from repro.workloads.distributions import GeometricCount, LogNormalLength
-from repro.workloads.trace import Trace, TraceRound, TraceSession
+from repro.workloads.trace import Trace, TraceRound, TraceSession, TraceStream
 from repro.workloads.vocab import SharedSegmentPool, fresh_tokens
 
 
@@ -66,10 +66,12 @@ class WorkloadParams:
     """Scale and timing knobs shared by all workloads.
 
     ``session_rate`` and ``mean_think_s`` are the two arrival-pattern axes
-    the paper sweeps in Fig. 13.  ``arrival_process`` selects homogeneous
-    Poisson sessions (the paper's setting) or a bursty two-state MMPP with
-    the same long-run rate (2.5x the rate during bursts, 0.5x between
-    them) — public-facing traffic is rarely as smooth as Poisson.
+    the paper sweeps in Fig. 13.  ``arrival_process`` selects among the
+    mean-rate-normalized presets of
+    :func:`repro.workloads.arrivals.make_arrival_process`: homogeneous
+    ``"poisson"`` (the paper's setting), ``"bursty"`` two-state MMPP,
+    ``"diurnal"`` rate curves, or ``"flashcrowd"`` spikes — public-facing
+    traffic is rarely as smooth as Poisson.
     """
 
     n_sessions: int = 100
@@ -88,24 +90,15 @@ class WorkloadParams:
             raise ValueError(f"mean_think_s must be non-negative, got {self.mean_think_s}")
         if self.vocab_size <= 1:
             raise ValueError(f"vocab_size must be > 1, got {self.vocab_size}")
-        if self.arrival_process not in ("poisson", "bursty"):
+        if self.arrival_process not in ARRIVAL_PROCESS_NAMES:
             raise ValueError(
-                f"arrival_process must be 'poisson' or 'bursty', "
+                f"arrival_process must be one of {ARRIVAL_PROCESS_NAMES}, "
                 f"got {self.arrival_process!r}"
             )
 
     def make_arrival_process(self):
         """The configured session arrival process."""
-        if self.arrival_process == "bursty":
-            # (2.5 * on + 0.5 * off) / (on + off) == 1 for on=10, off=30,
-            # so the long-run rate equals session_rate exactly.
-            return MarkovModulatedPoisson(
-                base_rate=0.5 * self.session_rate,
-                burst_rate=2.5 * self.session_rate,
-                mean_on_s=10.0,
-                mean_off_s=30.0,
-            )
-        return PoissonProcess(self.session_rate)
+        return make_arrival_process(self.arrival_process, self.session_rate)
 
 
 def _pool_seed(shape_name: str, seed: int) -> int:
@@ -118,8 +111,26 @@ def _pool_seed(shape_name: str, seed: int) -> int:
     return (zlib.crc32(shape_name.encode()) << 16) ^ (seed & 0xFFFF_FFFF)
 
 
-def build_trace(shape: SessionShape, params: WorkloadParams) -> Trace:
-    """Generate a full trace for one workload shape (deterministic in seed)."""
+def _trace_metadata(params: WorkloadParams) -> dict:
+    metadata = {
+        "n_sessions": params.n_sessions,
+        "session_rate": params.session_rate,
+        "mean_think_s": params.mean_think_s,
+        "vocab_size": params.vocab_size,
+    }
+    if params.arrival_process != "poisson":
+        metadata["arrival_process"] = params.arrival_process
+    return metadata
+
+
+def _session_generator(shape: SessionShape, params: WorkloadParams):
+    """Yield the trace's sessions lazily, one RNG stream, arrival order.
+
+    This is the single generative path: :func:`build_trace` materializes
+    it and :func:`stream_trace` wraps it, so the two are byte-identical by
+    construction.  Only the arrival-time vector (8 bytes per session) is
+    held up front; token content is produced session by session.
+    """
     rng = np.random.default_rng(params.seed)
     pool = SharedSegmentPool(
         base_seed=_pool_seed(shape.name, params.seed),
@@ -130,31 +141,32 @@ def build_trace(shape: SessionShape, params: WorkloadParams) -> Trace:
     )
     preamble = global_preamble(shape, params)
     arrivals = params.make_arrival_process().arrival_times(rng, params.n_sessions)
-
-    sessions = []
     for session_id in range(params.n_sessions):
-        sessions.append(
-            _build_session(
-                session_id=session_id,
-                arrival_time=float(arrivals[session_id]),
-                shape=shape,
-                params=params,
-                pool=pool,
-                preamble=preamble,
-                rng=rng,
-            )
+        yield _build_session(
+            session_id=session_id,
+            arrival_time=float(arrivals[session_id]),
+            shape=shape,
+            params=params,
+            pool=pool,
+            preamble=preamble,
+            rng=rng,
         )
-    return Trace(
+
+
+def stream_trace(shape: SessionShape, params: WorkloadParams) -> TraceStream:
+    """Lazily generate a workload trace (deterministic in seed, re-iterable)."""
+    return TraceStream(
         name=shape.name,
         seed=params.seed,
-        sessions=sessions,
-        metadata={
-            "n_sessions": params.n_sessions,
-            "session_rate": params.session_rate,
-            "mean_think_s": params.mean_think_s,
-            "vocab_size": params.vocab_size,
-        },
+        factory=lambda: _session_generator(shape, params),
+        n_sessions=params.n_sessions,
+        metadata=_trace_metadata(params),
     )
+
+
+def build_trace(shape: SessionShape, params: WorkloadParams) -> Trace:
+    """Generate a full trace for one workload shape (deterministic in seed)."""
+    return stream_trace(shape, params).materialize()
 
 
 def global_preamble(shape: SessionShape, params: WorkloadParams) -> np.ndarray:

@@ -10,9 +10,10 @@ round ``k``'s response completes (closed-loop per session).
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator, Optional
 
 import numpy as np
 
@@ -95,6 +96,9 @@ class Trace:
     seed: int
     sessions: list[TraceSession]
     metadata: dict = field(default_factory=dict)
+    _fingerprint: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_sessions(self) -> int:
@@ -148,6 +152,46 @@ class Trace:
         entries.sort(key=lambda e: (e[0], e[1], e[2]))
         yield from entries
 
+    def content_fingerprint(self) -> int:
+        """CRC32 over the trace's full content (ids, timing, tokens).
+
+        Computed once and memoized; traces are treated as immutable after
+        construction.  O(total tokens), but the ``tobytes`` CRC runs at
+        memory bandwidth — negligible next to one simulation of the same
+        trace, which is the only context that asks for it.
+        """
+        if self._fingerprint is None:
+            crc = 0
+            for session in self.sessions:
+                header = np.asarray(
+                    [float(session.session_id), session.arrival_time]
+                    + list(session.think_times),
+                    dtype=np.float64,
+                )
+                crc = zlib.crc32(header.tobytes(), crc)
+                for r in session.rounds:
+                    crc = zlib.crc32(r.new_input_tokens.tobytes(), crc)
+                    crc = zlib.crc32(r.output_tokens.tobytes(), crc)
+            self._fingerprint = crc
+        return self._fingerprint
+
+    def cache_key(self) -> tuple:
+        """Hashable process-independent identity of the trace.
+
+        Unlike ``id(trace)``, this survives pickling across process-pool
+        workers and cannot collide after garbage collection.  The content
+        fingerprint makes the key honest even for hand-built or
+        file-loaded traces that reuse a generated trace's header: two
+        traces only share a key if their sessions match byte for byte.
+        """
+        return (
+            self.name,
+            self.seed,
+            self.n_sessions,
+            json.dumps(self.metadata, sort_keys=True, default=str),
+            self.content_fingerprint(),
+        )
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -155,27 +199,9 @@ class Trace:
         """Write the trace as one JSON header line plus one line per session."""
         path = Path(path)
         with path.open("w") as fh:
-            header = {
-                "kind": "trace-header",
-                "name": self.name,
-                "seed": self.seed,
-                "metadata": self.metadata,
-            }
-            fh.write(json.dumps(header) + "\n")
+            fh.write(json.dumps(_header_record(self.name, self.seed, self.metadata)) + "\n")
             for session in self.sessions:
-                record = {
-                    "session_id": session.session_id,
-                    "arrival_time": session.arrival_time,
-                    "think_times": list(session.think_times),
-                    "rounds": [
-                        {
-                            "input": r.new_input_tokens.tolist(),
-                            "output": r.output_tokens.tolist(),
-                        }
-                        for r in session.rounds
-                    ],
-                }
-                fh.write(json.dumps(record) + "\n")
+                fh.write(json.dumps(_session_to_record(session)) + "\n")
 
     @classmethod
     def from_jsonl(cls, path: str | Path) -> "Trace":
@@ -185,27 +211,181 @@ class Trace:
             header = json.loads(fh.readline())
             if header.get("kind") != "trace-header":
                 raise ValueError(f"{path} is not a trace file (bad header)")
-            sessions = []
-            for line in fh:
-                record = json.loads(line)
-                rounds = [
-                    TraceRound(
-                        new_input_tokens=np.asarray(r["input"], dtype=np.int32),
-                        output_tokens=np.asarray(r["output"], dtype=np.int32),
-                    )
-                    for r in record["rounds"]
-                ]
-                sessions.append(
-                    TraceSession(
-                        session_id=record["session_id"],
-                        arrival_time=record["arrival_time"],
-                        rounds=rounds,
-                        think_times=list(record["think_times"]),
-                    )
-                )
+            sessions = [_session_from_record(json.loads(line)) for line in fh]
         return cls(
             name=header["name"],
             seed=header["seed"],
             sessions=sessions,
+            metadata=header.get("metadata", {}),
+        )
+
+
+def _header_record(name: str, seed: int, metadata: dict) -> dict:
+    return {"kind": "trace-header", "name": name, "seed": seed, "metadata": metadata}
+
+
+def _session_to_record(session: TraceSession) -> dict:
+    return {
+        "session_id": session.session_id,
+        "arrival_time": session.arrival_time,
+        "think_times": list(session.think_times),
+        "rounds": [
+            {
+                "input": r.new_input_tokens.tolist(),
+                "output": r.output_tokens.tolist(),
+            }
+            for r in session.rounds
+        ],
+    }
+
+
+def _session_from_record(record: dict) -> TraceSession:
+    rounds = [
+        TraceRound(
+            new_input_tokens=np.asarray(r["input"], dtype=np.int32),
+            output_tokens=np.asarray(r["output"], dtype=np.int32),
+        )
+        for r in record["rounds"]
+    ]
+    return TraceSession(
+        session_id=record["session_id"],
+        arrival_time=record["arrival_time"],
+        rounds=rounds,
+        think_times=list(record["think_times"]),
+    )
+
+
+class TraceStream:
+    """A trace whose sessions are produced lazily, in arrival order.
+
+    Where :class:`Trace` materializes every session up front, a stream
+    holds only a *recipe*: ``factory`` returns a fresh session iterator
+    each time, so the stream can be consumed any number of times and each
+    pass is deterministic (generators must derive all randomness from
+    their own seed material, never from shared mutable state).  The
+    engine's streaming admission path pulls one session at a time, so a
+    million-session trace replays with memory proportional to the number
+    of *concurrently active* sessions, not the trace length.
+
+    Contract: sessions must arrive with non-decreasing ``arrival_time``
+    (:meth:`iter_sessions` enforces this) — the engine merges the stream
+    into its event queue and cannot travel back in time.  Use
+    :meth:`materialize` to collapse a small stream into a plain
+    :class:`Trace` (analysis helpers, golden fixtures).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        factory: Callable[[], Iterator[TraceSession]],
+        *,
+        n_sessions: Optional[int] = None,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.seed = seed
+        self._factory = factory
+        self.n_sessions = n_sessions
+        self.metadata = dict(metadata) if metadata else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        size = "?" if self.n_sessions is None else str(self.n_sessions)
+        return f"TraceStream(name={self.name!r}, seed={self.seed}, n_sessions={size})"
+
+    def cache_key(self) -> Optional[tuple]:
+        """Hashable recipe identity, or ``None`` when the stream has none.
+
+        Streams cannot be content-fingerprinted without consuming a full
+        pass, so the key is the recipe's identity — valid only when the
+        recipe is actually identified: generated streams embed their
+        generation params in ``metadata``.  An anonymous stream (no
+        metadata, unknown length — e.g. a bare factory) returns ``None``
+        and callers must fall back to object identity rather than risk
+        aliasing two different recipes that share a name and seed.
+        """
+        if not self.metadata and self.n_sessions is None:
+            return None
+        return (
+            "stream",
+            self.name,
+            self.seed,
+            self.n_sessions,
+            json.dumps(self.metadata, sort_keys=True, default=str),
+        )
+
+    def iter_sessions(self) -> Iterator[TraceSession]:
+        """A fresh pass over the sessions, validating arrival monotonicity."""
+        last = float("-inf")
+        for session in self._factory():
+            if session.arrival_time < last:
+                raise ValueError(
+                    f"stream {self.name!r} yielded arrival_time "
+                    f"{session.arrival_time} after {last}; streams must be "
+                    "sorted by arrival time"
+                )
+            last = session.arrival_time
+            yield session
+
+    __iter__ = iter_sessions
+
+    def materialize(self) -> Trace:
+        """Collapse the stream into an in-memory :class:`Trace`."""
+        return Trace(
+            name=self.name,
+            seed=self.seed,
+            sessions=list(self.iter_sessions()),
+            metadata=dict(self.metadata),
+        )
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceStream":
+        """View an in-memory trace as a stream (sessions sorted by arrival)."""
+        ordered = sorted(trace.sessions, key=lambda s: (s.arrival_time, s.session_id))
+
+        def factory() -> Iterator[TraceSession]:
+            return iter(ordered)
+
+        return cls(
+            name=trace.name,
+            seed=trace.seed,
+            factory=factory,
+            n_sessions=trace.n_sessions,
+            metadata=dict(trace.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (single-pass; never holds more than one session)
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: str | Path) -> int:
+        """Stream the sessions to a trace JSONL file; returns sessions written."""
+        path = Path(path)
+        written = 0
+        with path.open("w") as fh:
+            fh.write(json.dumps(_header_record(self.name, self.seed, self.metadata)) + "\n")
+            for session in self.iter_sessions():
+                fh.write(json.dumps(_session_to_record(session)) + "\n")
+                written += 1
+        return written
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "TraceStream":
+        """Lazily read a trace JSONL file (one session in memory at a time)."""
+        path = Path(path)
+        with path.open() as fh:
+            header = json.loads(fh.readline())
+        if header.get("kind") != "trace-header":
+            raise ValueError(f"{path} is not a trace file (bad header)")
+
+        def factory() -> Iterator[TraceSession]:
+            with path.open() as fh:
+                fh.readline()  # header
+                for line in fh:
+                    yield _session_from_record(json.loads(line))
+
+        return cls(
+            name=header["name"],
+            seed=header["seed"],
+            factory=factory,
             metadata=header.get("metadata", {}),
         )
