@@ -17,12 +17,12 @@ regression guard for the ≥5× node-visit reduction.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
+from _bench_io import write_bench
 from repro.core.cache import MarconiCache
 from repro.engine.server import simulate_trace
 from repro.models.presets import hybrid_7b
@@ -134,7 +134,6 @@ class TestEvictionIndexMicrobench:
             for use_index in (True, False)
         }
         payload = {
-            "benchmark": "eviction_index_vs_full_rescan",
             "capacity_bytes": CAPACITY_BYTES,
             "trace": {"kind": "lmsys", "n_sessions": 150, "seed": 17},
             "runs": [
@@ -163,7 +162,7 @@ class TestEvictionIndexMicrobench:
                 for policy in POLICIES
             },
         }
-        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        write_bench(BENCH_PATH, "eviction_index_vs_full_rescan", payload)
         assert BENCH_PATH.exists()
         print(f"\nwrote {BENCH_PATH}")
         for policy, summary in payload["summary"].items():

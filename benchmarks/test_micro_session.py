@@ -14,12 +14,12 @@ This file is deliberately fast (seconds) and stays in the default test lane.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
+from _bench_io import write_bench
 from repro.core.cache import MarconiCache
 from repro.models.presets import hybrid_7b
 from repro.workloads.lmsys import generate_lmsys_trace
@@ -116,7 +116,6 @@ class TestSessionMicrobench:
         """Persist the perf snapshot for cross-PR trajectory tracking."""
         n = measurements["n_requests"]
         payload = {
-            "benchmark": "session_api_vs_legacy_shims",
             "capacity_bytes": CAPACITY_BYTES,
             "trace": {"kind": "lmsys", "n_sessions": N_SESSIONS, "seed": 23},
             "n_requests": n,
@@ -130,5 +129,5 @@ class TestSessionMicrobench:
             "stats_identical": measurements["session_stats"]
             == measurements["legacy_stats"],
         }
-        BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        write_bench(BENCH_PATH, "session_api_vs_legacy_shims", payload)
         assert BENCH_PATH.exists()

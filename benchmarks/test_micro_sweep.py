@@ -21,7 +21,6 @@ cross-PR trajectory tracking.  This file stays in the default fast lane.
 
 from __future__ import annotations
 
-import json
 import os
 import subprocess
 import sys
@@ -31,6 +30,7 @@ from pathlib import Path
 
 import pytest
 
+from _bench_io import write_bench
 from repro.experiments.parallel import run_specs
 from repro.experiments.runner import clear_result_cache, clear_trace_cache
 from repro.experiments.sweeps import sweep_specs
@@ -193,7 +193,6 @@ class TestSweepMicrobench:
         streamed = memory_measurements["streamed"]
         materialized = memory_measurements["materialized"]
         payload = {
-            "benchmark": "parallel_sweep_and_streaming_memory",
             "sweep": {
                 "dataset": "sharegpt",
                 "scale": "smoke",
@@ -213,5 +212,5 @@ class TestSweepMicrobench:
                 ),
             },
         }
-        BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        write_bench(BENCH_PATH, "parallel_sweep_and_streaming_memory", payload)
         assert BENCH_PATH.exists()

@@ -28,6 +28,7 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.core.interfaces import as_token_array
+from repro.core.tokens import TokenSeq
 from repro.cluster.directory import DirectoryLookup, PrefixDirectory
 from repro.engine.steering import RouteDecision, TransferSpec, pick_least_loaded
 
@@ -47,12 +48,17 @@ def probe_hit_tokens(cache: Any, tokens: np.ndarray) -> int:
     array (see :func:`~repro.core.interfaces.as_token_array`); the
     coercion then short-circuits instead of re-running per replica.
     """
-    if not (
+    if isinstance(tokens, TokenSeq):
+        seq = tokens  # interned handle: the tree walk reuses its bytes
+        tokens = seq.arr
+    elif not (
         isinstance(tokens, np.ndarray)
         and tokens.dtype == np.int32
         and tokens.ndim == 1
     ):
-        tokens = as_token_array(tokens)
+        seq = tokens = as_token_array(tokens)
+    else:
+        seq = tokens
     if len(tokens) == 0:
         return 0
     probe = getattr(cache, "probe", None)
@@ -62,7 +68,7 @@ def probe_hit_tokens(cache: Any, tokens: np.ndarray) -> int:
     model = getattr(cache, "model", None)
     if tree is None:
         return 0
-    match = tree.match(tokens)
+    match = tree.match(seq)
     if model is not None and getattr(model, "has_recurrent_layers", False):
         node = match.deepest_ssm_node(max_seq_len=len(tokens) - 1)
         return node.seq_len if node is not None else 0

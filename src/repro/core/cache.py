@@ -46,16 +46,15 @@ from repro.core.interfaces import (
     LookupResult,
     PrefixCache,
     RequestSession,
-    as_token_array,
 )
 from repro.core.node import RadixNode
 from repro.core.radix_tree import RadixTree
 from repro.core.stats import CacheStats
+from repro.core.tokens import TokenSeq
 from repro.models.config import ModelConfig
 from repro.models.efficiency import node_flop_efficiency
-from repro.models.flops import model_prefill_flops
+from repro.models.flops import model_prefill_flops, prefill_flops_table
 from repro.models.memory import (
-    kv_bytes,
     kv_bytes_per_token,
     model_recurrent_bytes,
     node_state_bytes,
@@ -68,6 +67,16 @@ class MarconiSession(RequestSession):
     Carries everything the cache pinned or speculatively inserted at begin
     time, so commit knows what to extend and abort knows what to undo.
     """
+
+    __slots__ = (
+        "input_len",
+        "end_node",
+        "pinned_node",
+        "branch_node",
+        "new_leaf",
+        "split_node",
+        "rolled_back",
+    )
 
     def __init__(self, cache: "MarconiCache", input_len: int) -> None:
         super().__init__(cache)
@@ -156,6 +165,12 @@ class MarconiCache(PrefixCache):
         self._tuner_config = tuner_config or AlphaTunerConfig()
         self._use_index = use_eviction_index
         self._batch_evictions = batch_evictions
+
+        # Per-model byte constants, bound once: the eviction index refreshes
+        # candidates on every tree mutation, and each refresh needs both.
+        self._kv_per_token = kv_bytes_per_token(model)
+        self._recurrent_bytes = model_recurrent_bytes(model)
+        self._flops_table = prefill_flops_table(model)
 
         self._index: Optional[EvictionIndex] = None
         self._scan_node_visits = 0
@@ -257,64 +272,70 @@ class MarconiCache(PrefixCache):
     # Begin (prefill start)
     # ------------------------------------------------------------------
     def _begin_session(self, tokens: np.ndarray, now: float) -> MarconiSession:
-        tokens = as_token_array(tokens)
-        if len(tokens) == 0:
+        seq = TokenSeq.of(tokens)  # interned handle: cached bytes feed the
+        tokens = seq.arr  # tree's full-edge byte-compare fast path
+        n = len(tokens)
+        if n == 0:
             raise ValueError("cannot look up an empty token sequence")
-        match = self.tree.match(tokens)
+        tree = self._tree
+        has_recurrent = self.model.has_recurrent_layers
+        match = tree.match(seq)
 
         hit_tokens = 0
         reused_bytes = 0
         payload = None
-        if self.model.has_recurrent_layers:
+        if has_recurrent:
             # All-or-nothing: the hit must end exactly on a checkpointed node,
             # and at least the final input token must be prefilled to produce
             # the first decode step's logits.
-            hit_node = match.deepest_ssm_node(max_seq_len=len(tokens) - 1)
+            hit_node = match.deepest_ssm_node(max_seq_len=n - 1)
             if hit_node is not None:
                 hit_tokens = hit_node.seq_len
-                reused_bytes = kv_bytes(self.model, hit_tokens) + model_recurrent_bytes(
-                    self.model
-                )
-                self.tree.touch(hit_node, now)
+                reused_bytes = hit_tokens * self._kv_per_token + self._recurrent_bytes
+                tree.touch(hit_node, now)
                 self.policy.notify_access(hit_node, now)
                 payload = hit_node.state_payload
         else:
             # Pure Transformer: KVs slice at token granularity.
-            hit_tokens = min(match.matched_len, len(tokens) - 1)
+            hit_tokens = min(match.matched_len, n - 1)
             if hit_tokens > 0:
-                reused_bytes = kv_bytes(self.model, hit_tokens)
+                reused_bytes = hit_tokens * self._kv_per_token
                 if match.path:
-                    self.tree.touch(match.path[-1], now)
+                    tree.touch(match.path[-1], now)
                     self.policy.notify_access(match.path[-1], now)
 
-        self._stats.record_lookup(hit_tokens, len(tokens))
+        self._stats.record_lookup(hit_tokens, n)
         self._stats.flops_saved += model_prefill_flops(self.model, hit_tokens)
 
         # Commit the input path (every system admits all KVs of the sequence;
-        # Marconi is judicious only about recurrent checkpoints).
-        outcome = self.tree.insert(tokens, now)
-        self.tree.refresh_access(outcome.end_node, now)
-        self.tree.pin_path(outcome.end_node)
-        session = MarconiSession(self, input_len=len(tokens))
-        session.end_node = outcome.end_node
-        session.pinned_node = outcome.end_node
+        # Marconi is judicious only about recurrent checkpoints).  The match
+        # above already walked the fully-matched prefix and nothing between
+        # match and insert mutates tree structure, so insertion resumes from
+        # the deepest fully-matched node instead of re-descending from root.
+        outcome = tree.insert(
+            seq, now, start=match.path[-1] if match.path else None
+        )
+        end = outcome.end_node
+        tree.refresh_access(end, now)
+        tree.pin_path(end)
+        session = MarconiSession(self, input_len=n)
+        session.end_node = end
+        session.pinned_node = end
         session.new_leaf = outcome.new_leaf
         session.split_node = outcome.split_node
 
         branch = outcome.split_node
         want_branch_checkpoint = (
-            self.model.has_recurrent_layers
-            and branch is not None
-            and not branch.has_ssm_state
+            has_recurrent and branch is not None and not branch.has_ssm_state
         )
-        kv_cost = outcome.new_edge_tokens * kv_bytes_per_token(self.model)
-        branch_cost = model_recurrent_bytes(self.model) if want_branch_checkpoint else 0
+        kv_cost = outcome.new_edge_tokens * self._kv_per_token
+        branch_cost = self._recurrent_bytes if want_branch_checkpoint else 0
 
         if self._ensure_free(kv_cost + branch_cost):
             self._used += kv_cost + branch_cost
             if want_branch_checkpoint:
                 assert branch is not None
-                self.tree.set_checkpoint(branch, now)
+                tree.set_checkpoint(branch, now)
                 session.branch_node = branch
         elif self._ensure_free(kv_cost):
             # Cache pressure: keep the KVs, drop the branch checkpoint.
@@ -329,7 +350,7 @@ class MarconiCache(PrefixCache):
         )
         session.result = LookupResult(
             hit_tokens=hit_tokens,
-            input_tokens=len(tokens),
+            input_tokens=n,
             reused_bytes=reused_bytes,
             checkpoint_positions=checkpoint_positions,
             state_payload=payload,
@@ -347,7 +368,7 @@ class MarconiCache(PrefixCache):
         leaf = outcome.new_leaf
         if leaf is None or leaf.parent is None or leaf.has_ssm_state:
             return 0
-        per_token = kv_bytes_per_token(self.model)
+        per_token = self._kv_per_token
         if per_token <= 0:
             return 0
         affordable = (self._capacity - self._used) // per_token
@@ -391,7 +412,8 @@ class MarconiCache(PrefixCache):
         now: float,
         state_payload: Any = None,
     ) -> AdmitResult:
-        tokens = as_token_array(tokens)
+        seq = TokenSeq.of(tokens)
+        tokens = seq.arr
         if len(tokens) == 0:
             raise ValueError("cannot admit an empty token sequence")
         if session is not None:
@@ -403,22 +425,28 @@ class MarconiCache(PrefixCache):
         else:
             input_len = len(tokens)
 
-        evicted_before = self._stats.evicted_bytes
-        outcome = self.tree.insert(tokens, now)
+        stats = self._stats
+        tree = self._tree
+        has_recurrent = self.model.has_recurrent_layers
+        evicted_before = stats.evicted_bytes
+        # The begin-time end node (if any) is pinned, so it is still attached
+        # and its path is a prefix of the full sequence (truncation during a
+        # partial begin only shortens it): resume insertion from there.
+        begin_end = session.end_node if session is not None else None
+        outcome = tree.insert(seq, now, start=begin_end)
         end = outcome.end_node
         # Protect the not-yet-charged extension (and the nodes the upcoming
-        # eviction pass must not merge into it) before freeing space; the
-        # begin-time pin, if any, is released only afterwards so the path
-        # is never exposed in between.
-        self.tree.pin_path(end)
-        if session is not None and session.pinned_node is not None:
-            self.tree.unpin_path(session.pinned_node)
+        # eviction pass must not merge into it) before freeing space.  The
+        # begin-time pin, if any, covers the shared ancestor segment, so the
+        # walk stops there and the final ``unpin_path(end)`` below releases
+        # both pins in one pass — identical counts, never exposed in between.
+        begin_pin = session.pinned_node if session is not None else None
+        tree.pin_path(end, stop=begin_pin)
+        if session is not None:
             session.pinned_node = None
-        want_leaf_checkpoint = (
-            self.model.has_recurrent_layers and not end.has_ssm_state
-        )
-        kv_cost = outcome.new_edge_tokens * kv_bytes_per_token(self.model)
-        leaf_cost = model_recurrent_bytes(self.model) if want_leaf_checkpoint else 0
+        want_leaf_checkpoint = has_recurrent and not end.has_ssm_state
+        kv_cost = outcome.new_edge_tokens * self._kv_per_token
+        leaf_cost = self._recurrent_bytes if want_leaf_checkpoint else 0
 
         rejected = False
         admitted = 0
@@ -426,32 +454,32 @@ class MarconiCache(PrefixCache):
             self._used += kv_cost + leaf_cost
             admitted = kv_cost + leaf_cost
             if want_leaf_checkpoint:
-                self.tree.set_checkpoint(end)
-            self.tree.refresh_access(end, now)
-            if self.store_states and self.model.has_recurrent_layers:
+                tree.set_checkpoint(end)
+            tree.refresh_access(end, now)
+            if self.store_states and has_recurrent:
                 end.state_payload = state_payload
-            self.tree.unpin_path(end)
+            tree.unpin_path(end)
         elif self._ensure_free(kv_cost):
             # The checkpoint doesn't fit but the KVs do: admit KV-only.
             self._used += kv_cost
             admitted = kv_cost
-            self.tree.refresh_access(end, now)
-            self.tree.unpin_path(end)
+            tree.refresh_access(end, now)
+            tree.unpin_path(end)
         else:
             # Keep the longest affordable KV prefix of the extension (block
             # caches do the same by admitting as many prefix blocks as fit);
             # no checkpoint, since it would represent the untruncated edge.
             admitted = self._charge_partial_leaf(outcome)
             rejected = admitted == 0
-            self.tree.unpin_path(end)
+            tree.unpin_path(end)
             if rejected and outcome.new_leaf is not None and outcome.new_leaf.parent is not None:
-                self.tree.remove_leaf(outcome.new_leaf)
-        self._stats.record_admission(admitted, rejected=rejected)
+                tree.remove_leaf(outcome.new_leaf)
+        stats.record_admission(admitted, rejected=rejected)
 
         self._finish_request(now, input_len, tokens)
         return AdmitResult(
             admitted_bytes=admitted,
-            evicted_bytes=self._stats.evicted_bytes - evicted_before,
+            evicted_bytes=stats.evicted_bytes - evicted_before,
             rejected=rejected,
         )
 
@@ -485,7 +513,7 @@ class MarconiCache(PrefixCache):
             and not branch.is_pinned
         ):
             self.tree.clear_checkpoint(branch)
-            self._used -= model_recurrent_bytes(self.model)
+            self._used -= self._recurrent_bytes
             session.branch_node = None
 
         # Remove the new edge's KVs unless another path grew through it.
@@ -497,7 +525,7 @@ class MarconiCache(PrefixCache):
             and not leaf.is_pinned
             and not leaf.has_ssm_state
         ):
-            self._used -= leaf.kv_tokens * kv_bytes_per_token(self.model)
+            self._used -= leaf.kv_tokens * self._kv_per_token
             self.tree.remove_leaf(leaf)
             session.new_leaf = None
 
@@ -541,15 +569,27 @@ class MarconiCache(PrefixCache):
         return node_state_bytes(self.model, node.kv_tokens, node.has_ssm_state)
 
     def _freeable_bytes(self, node: RadixNode) -> int:
-        if node.is_leaf:
-            return self._node_bytes(node)
+        if not node.children:  # leaf: the full entry (KVs + checkpoint) goes
+            kv = len(node.edge_tokens) * self._kv_per_token
+            return kv + self._recurrent_bytes if node.has_ssm_state else kv
         # Single-child intermediate node: only the checkpoint is released;
         # its KVs are absorbed by the child.
         if node.has_ssm_state:
-            return model_recurrent_bytes(self.model)
+            return self._recurrent_bytes
         return 0
 
     def _candidate_efficiency(self, node: RadixNode, freeable: int) -> float:
+        # Inlined node_flop_efficiency "prefix_per_freed" hot path: probe the
+        # shared prefill-FLOPs memo directly (same floats — the memo stores
+        # the value model_prefill_flops would return) and skip two frames.
+        if self.efficiency_mode == "prefix_per_freed":
+            if freeable <= 0:
+                return 0.0
+            seq_len = node.seq_len
+            saved = self._flops_table.get(seq_len)
+            if saved is None:
+                saved = model_prefill_flops(self.model, seq_len)
+            return saved / freeable
         return node_flop_efficiency(
             self.model,
             node.seq_len,
@@ -594,20 +634,53 @@ class MarconiCache(PrefixCache):
         return self.policy.select_victim(candidates)
 
     def _ensure_free(self, needed_bytes: int) -> bool:
-        """Evict until ``needed_bytes`` fit; False if that proves impossible."""
-        if needed_bytes > self._capacity:
+        """Evict until ``needed_bytes`` fit; False if that proves impossible.
+
+        The loop body is the inlined equivalent of ``_select_victim`` +
+        ``_apply_eviction`` (kept as standalone methods for tests and
+        external callers) with per-iteration attribute lookups hoisted —
+        this is the hottest loop in the simulator under cache pressure.
+        Subclasses that override ``_apply_eviction`` (e.g. tiered
+        demotion) still get their hook: the inline body only runs when
+        the method is the base-class one.
+        """
+        capacity = self._capacity
+        if needed_bytes > capacity:
             return False
-        if self._capacity - self._used >= needed_bytes:
+        if capacity - self._used >= needed_bytes:
             return True
-        self.policy.begin_eviction_pass()
-        while self._capacity - self._used < needed_bytes:
-            victim = self._select_victim()
-            if victim is None:
-                return False
-            self._apply_eviction(victim)
-            self.policy.notify_eviction(victim)
-            if self.tuner is not None:
-                self.tuner.note_eviction()
+        policy = self.policy
+        policy.begin_eviction_pass()
+        index = self._index
+        tree = self._tree
+        stats = self._stats
+        tuner = self.tuner
+        inline_apply = type(self)._apply_eviction is MarconiCache._apply_eviction
+        while capacity - self._used < needed_bytes:
+            if index is not None:
+                if not index.candidates():
+                    return False
+                victim = policy.select_from_index(index)
+            else:
+                candidates = self._collect_candidates(count_visits=True)
+                if not candidates:
+                    return False
+                victim = policy.select_victim(candidates)
+            if inline_apply:
+                node = victim.node
+                freed = victim.freeable_bytes
+                if not node.children:
+                    tree.remove_leaf(node)
+                else:
+                    tree.clear_checkpoint(node)
+                    tree.merge_into_child(node)
+                self._used -= freed
+                stats.record_eviction(freed)
+            else:
+                self._apply_eviction(victim)
+            policy.notify_eviction(victim)
+            if tuner is not None:
+                tuner.note_eviction()
         return True
 
     def _apply_eviction(self, victim: EvictionCandidate) -> None:

@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.eviction_index import EvictionIndex
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictionCandidate:
     """One evictable node with everything the scoring policies need.
 
@@ -73,8 +73,15 @@ class EvictionPolicy(abc.ABC):
         """Pick the next victim from a non-empty candidate list."""
 
     def bind_index(self, index: "EvictionIndex") -> None:
-        """Attach to ``index``; subscribes heap selectors to its change feed."""
-        index.on_candidate_changed = self.on_candidate_changed
+        """Attach to ``index``; subscribes heap selectors to its change feed.
+
+        Policies that never overrode :meth:`on_candidate_changed` leave the
+        feed unset so the index skips the callback on the refresh hot path.
+        """
+        if type(self).on_candidate_changed is EvictionPolicy.on_candidate_changed:
+            index.on_candidate_changed = None
+        else:
+            index.on_candidate_changed = self.on_candidate_changed
 
     def on_candidate_changed(self, candidate: EvictionCandidate) -> None:
         """Called by the bound index when a candidate is added or rebuilt."""
@@ -217,8 +224,63 @@ class FlopAwareEviction(EvictionPolicy):
     def select_victim(self, candidates: list[EvictionCandidate]) -> EvictionCandidate:
         if not candidates:
             raise ValueError("no eviction candidates")
-        scored = zip(self.scores(candidates), (c.sort_key for c in candidates), candidates)
-        return min(scored, key=lambda item: (item[0], item[1]))[2]
+        n = len(candidates)
+        if n == 1:
+            return candidates[0]
+        alpha = self.alpha
+        if self.normalization == "rank":
+            # Inlined tie-averaged rank scoring: candidate sets under real
+            # pressure are tiny (median ~3), so per-call overhead dominates
+            # — one flat pass per term, scores accumulated in place, same
+            # float expressions as :func:`_rank_normalize` term by term.
+            la = [c.last_access for c in candidates]
+            scores = [0.0] * n
+            order = sorted(range(n), key=la.__getitem__)
+            i = 0
+            while i < n:
+                j = i
+                vi = la[order[i]]
+                while j + 1 < n and la[order[j + 1]] == vi:
+                    j += 1
+                r = ((i + j) / 2.0 + 1.0) / n
+                for k in range(i, j + 1):
+                    scores[order[k]] = r
+                i = j + 1
+            fe = [c.flop_efficiency for c in candidates]
+            order = sorted(range(n), key=fe.__getitem__)
+            i = 0
+            while i < n:
+                j = i
+                vi = fe[order[i]]
+                while j + 1 < n and fe[order[j + 1]] == vi:
+                    j += 1
+                ae = alpha * (((i + j) / 2.0 + 1.0) / n)
+                for k in range(i, j + 1):
+                    ki = order[k]
+                    scores[ki] = scores[ki] + ae
+                i = j + 1
+        else:
+            recency = self._normalized([c.last_access for c in candidates])
+            efficiency = self._normalized([c.flop_efficiency for c in candidates])
+            scores = [r + alpha * e for r, e in zip(recency, efficiency)]
+        # Fused min over (score, sort_key); sort_key ties are impossible
+        # (node ids are unique), so the order is total.
+        best = candidates[0]
+        best_score = scores[0]
+        best_key = best.sort_key
+        for idx in range(1, n):
+            score = scores[idx]
+            if score < best_score:
+                best = candidates[idx]
+                best_score = score
+                best_key = best.sort_key
+            elif score == best_score:
+                candidate = candidates[idx]
+                if candidate.sort_key < best_key:
+                    best = candidate
+                    best_score = score
+                    best_key = candidate.sort_key
+        return best
 
     def begin_eviction_pass(self) -> None:
         # Never carry a scored order across pressure episodes: requests may
@@ -250,11 +312,16 @@ class FlopAwareEviction(EvictionPolicy):
         index identity check, so a stale order can delay but never corrupt
         a decision.
         """
+        if self.batch_size == 1:
+            # Renormalize-per-victim degenerates to one min() over the live
+            # candidate snapshot: the first element of the stable sort
+            # _rebuild_order would have produced (sort_key makes the order
+            # total, so min and sort agree), without building the order.
+            return self.select_victim(index.candidates())
         while True:
             if (
                 self._order_epoch is None
                 or self._order_budget <= 0
-                or (self.batch_size == 1 and self._order_epoch != index.epoch)
                 or not self._order
             ):
                 self._rebuild_order(index)

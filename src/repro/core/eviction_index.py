@@ -6,21 +6,18 @@ recomputation per candidate — on *every* iteration of the eviction loop,
 making sustained cache pressure O(n²·log n).  This module replaces the
 rescan with a :class:`~repro.core.radix_tree.TreeObserver` that tracks the
 evictable set — nodes with at most one child, unpinned, and with positive
-freeable bytes — as the tree changes, re-evaluating only the neighborhood a
-mutation actually touched:
+freeable bytes — as the tree changes.
 
-===========================  =============================================
-tree event                   nodes re-evaluated
-===========================  =============================================
-leaf added                   the leaf, its parent (child count changed)
-edge split                   the new middle node, the shortened child
-leaf removed                 dropped; its parent (may become evictable)
-single-child node merged     dropped; the absorbing child (KVs grew)
-leaf truncated               the leaf (freeable bytes shrank)
-checkpoint set / cleared     the node (freeable bytes changed)
-pin / unpin                  each node on the pinned path
-touch / access refresh       the node (recency key changed)
-===========================  =============================================
+Maintenance is *lazy*: every observer callback only marks the touched node
+dirty (an O(1) dict write), and dirty nodes are re-evaluated in one batch
+the next time anything reads the index (``candidates()``, ``get``,
+``len``, ``epoch``, ``node_visits``).  Readers therefore always see the
+eagerly-maintained state, while write-heavy churn between selections —
+pin/unpin round-trips of a request path, multiple touches of the same hot
+node, transient structure during a split — collapses to at most one
+re-evaluation per node per read.  A node whose evaluation key (freeable
+bytes, recency, shape) round-trips back unchanged between two reads keeps
+its candidate object and bumps nothing.
 
 Cached per-candidate values (``freeable_bytes``, ``flop_efficiency``, the
 precomputed ``sort_key``) are invalidated by *rebuilding the candidate
@@ -76,28 +73,52 @@ class EvictionIndex(TreeObserver):
         # (freeable, last_access, is_leaf, seq_len, parent_seq_len) of the
         # last evaluation; when unchanged, the cached candidate stands.
         self._eval_keys: dict[int, tuple] = {}
+        # Nodes whose state may have changed since the last read; flushed
+        # (re-evaluated once each) before the index answers anything.
+        self._dirty: dict[int, RadixNode] = {}
         self._snapshot: Optional[list[EvictionCandidate]] = None
-        self.epoch = 0
-        self.node_visits = 0
+        self._epoch = 0
+        self._node_visits = 0
         self.on_candidate_changed: Optional[Callable[[EvictionCandidate], None]] = None
         tree.add_observer(self)
         self.rebuild()
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (each settles pending dirty marks first)
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Change stamp of the candidate set (post-flush)."""
+        if self._dirty:
+            self._flush()
+        return self._epoch
+
+    @property
+    def node_visits(self) -> int:
+        """Total candidacy evaluations performed (post-flush)."""
+        if self._dirty:
+            self._flush()
+        return self._node_visits
+
     def __len__(self) -> int:
+        if self._dirty:
+            self._flush()
         return len(self._entries)
 
     def get(self, node_id: int) -> Optional[EvictionCandidate]:
         """Current candidate for ``node_id``, or None when not evictable."""
+        if self._dirty:
+            self._flush()
         return self._entries.get(node_id)
 
     def candidates(self) -> list[EvictionCandidate]:
         """Snapshot list of all current candidates (cached per epoch)."""
-        if self._snapshot is None:
-            self._snapshot = list(self._entries.values())
-        return self._snapshot
+        if self._dirty:
+            self._flush()
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = self._snapshot = list(self._entries.values())
+        return snapshot
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -106,15 +127,75 @@ class EvictionIndex(TreeObserver):
         """Re-seed the candidate set with one full tree scan."""
         self._entries.clear()
         self._eval_keys.clear()
+        self._dirty.clear()
         self._bump()
         for node in self._tree.iter_nodes():
             self.refresh(node)
 
+    def _flush(self) -> None:
+        """Re-evaluate every dirty node once, in mark order.
+
+        The loop body is :meth:`refresh` inlined with the per-call lookups
+        hoisted — this runs a handful of times per eviction, which makes it
+        the hottest code in the eviction pipeline.
+        """
+        dirty = self._dirty
+        self._dirty = {}
+        entries = self._entries
+        eval_keys = self._eval_keys
+        freeable_fn = self._freeable_fn
+        efficiency_fn = self._efficiency_fn
+        visits = 0
+        for node in dirty.values():
+            visits += 1
+            node_id = node.node_id
+            children = node.children
+            if node.parent is None or node.pin_count > 0 or len(children) > 1:
+                if entries.pop(node_id, None) is not None:
+                    del eval_keys[node_id]
+                    self._epoch += 1
+                    self._snapshot = None
+                continue
+            freeable = freeable_fn(node)
+            if freeable <= 0:
+                if entries.pop(node_id, None) is not None:
+                    del eval_keys[node_id]
+                    self._epoch += 1
+                    self._snapshot = None
+                continue
+            last_access = node.last_access
+            eval_key = (
+                freeable,
+                last_access,
+                not children,
+                node.seq_len,
+                node.parent.seq_len,
+            )
+            if eval_keys.get(node_id) == eval_key:
+                continue
+            candidate = EvictionCandidate(
+                node=node,
+                freeable_bytes=freeable,
+                flop_efficiency=efficiency_fn(node, freeable),
+                last_access=last_access,
+                is_leaf=not children,
+            )
+            entries[node_id] = candidate
+            eval_keys[node_id] = eval_key
+            self._epoch += 1
+            self._snapshot = None
+            if self.on_candidate_changed is not None:
+                self.on_candidate_changed(candidate)
+        self._node_visits += visits
+
     def refresh(self, node: RadixNode) -> None:
-        """Re-evaluate one node's candidacy and cached values."""
-        self.node_visits += 1
+        """Re-evaluate one node's candidacy and cached values (eager)."""
+        self._node_visits += 1
         node_id = node.node_id
-        if not node.is_eviction_shaped:
+        # Inlined node.is_eviction_shaped; a detached node (parent None)
+        # is dropped by the same guard.
+        children = node.children
+        if node.parent is None or node.pin_count > 0 or len(children) > 1:
             self._drop(node_id)
             return
         freeable = self._freeable_fn(node)
@@ -124,9 +205,9 @@ class EvictionIndex(TreeObserver):
         eval_key = (
             freeable,
             node.last_access,
-            node.is_leaf,
+            not children,  # is_leaf
             node.seq_len,
-            node.parent_seq_len,
+            node.parent.seq_len,
         )
         if self._eval_keys.get(node_id) == eval_key:
             return  # nothing the candidate caches has changed
@@ -135,7 +216,7 @@ class EvictionIndex(TreeObserver):
             freeable_bytes=freeable,
             flop_efficiency=self._efficiency_fn(node, freeable),
             last_access=node.last_access,
-            is_leaf=node.is_leaf,
+            is_leaf=not children,
         )
         self._entries[node_id] = candidate
         self._eval_keys[node_id] = eval_key
@@ -149,42 +230,53 @@ class EvictionIndex(TreeObserver):
             self._bump()
 
     def _bump(self) -> None:
-        self.epoch += 1
+        self._epoch += 1
         self._snapshot = None
 
+    def _mark(self, node: RadixNode) -> None:
+        self._dirty[node.node_id] = node
+
     # ------------------------------------------------------------------
-    # TreeObserver callbacks
+    # TreeObserver callbacks — O(1) dirty marks, settled at the next read
     # ------------------------------------------------------------------
     def on_node_added(self, node: RadixNode) -> None:
-        self.refresh(node)
-        if node.parent is not None and not node.parent.is_root:
-            self.refresh(node.parent)
+        self._dirty[node.node_id] = node
+        parent = node.parent
+        if parent is not None and parent.parent is not None:  # skip the root
+            self._dirty[parent.node_id] = parent
 
     def on_edge_split(self, middle: RadixNode, child: RadixNode) -> None:
-        self.refresh(middle)
-        self.refresh(child)
+        self._dirty[middle.node_id] = middle
+        self._dirty[child.node_id] = child
 
     def on_leaf_removed(self, node: RadixNode, parent: RadixNode) -> None:
-        self._drop(node.node_id)
-        if not parent.is_root:
-            self.refresh(parent)
+        self._dirty[node.node_id] = node
+        if parent.parent is not None:  # skip the root
+            self._dirty[parent.node_id] = parent
 
     def on_merged(self, node: RadixNode, child: RadixNode) -> None:
-        self._drop(node.node_id)
-        self.refresh(child)
+        self._dirty[node.node_id] = node
+        self._dirty[child.node_id] = child
 
     def on_leaf_truncated(self, node: RadixNode) -> None:
-        self.refresh(node)
+        self._dirty[node.node_id] = node
 
+    # The three state-change callbacks below share a shortcut: a node that
+    # is pinned *and* not currently a candidate was a non-candidate before
+    # the change and stays one (pinned nodes never enter the set), so no
+    # mark is needed — its fresh recency/checkpoint/freeable state is
+    # re-read at the unpin mark that must precede it becoming evictable.
     def on_checkpoint_changed(self, node: RadixNode) -> None:
-        self.refresh(node)
+        if node.pin_count > 0 and node.node_id not in self._entries:
+            return
+        self._dirty[node.node_id] = node
 
     def on_pin_changed(self, node: RadixNode) -> None:
-        if node.pin_count > 0:
-            # Pinning can only remove candidacy; skip the full evaluation.
-            self._drop(node.node_id)
-        else:
-            self.refresh(node)
+        if node.pin_count > 0 and node.node_id not in self._entries:
+            return
+        self._dirty[node.node_id] = node
 
     def on_touched(self, node: RadixNode) -> None:
-        self.refresh(node)
+        if node.pin_count > 0 and node.node_id not in self._entries:
+            return
+        self._dirty[node.node_id] = node

@@ -33,9 +33,10 @@ from typing import Any, Optional, Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.core.stats import CacheStats
+from repro.core.tokens import canonical_token_array
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupResult:
     """Outcome of a prefill-time cache lookup.
 
@@ -86,7 +87,7 @@ class LookupResult:
         return self.hit_tokens > 0
 
 
-@dataclass
+@dataclass(slots=True)
 class AdmitResult:
     """Outcome of admitting a finished sequence into the cache."""
 
@@ -129,6 +130,15 @@ class RequestSession:
     legacy :meth:`PrefixCache.lookup` shim, which must preserve the old
     drop-the-handle behaviour bit for bit.
     """
+
+    __slots__ = (
+        "_cache",
+        "result",
+        "_state",
+        "_gc_abort",
+        "admit_result",
+        "__weakref__",  # caches track live sessions in a WeakSet
+    )
 
     def __init__(self, cache: "PrefixCache", result: Optional[LookupResult] = None):
         self._cache = cache
@@ -611,12 +621,11 @@ class CacheProtocol(Protocol):
 
 
 def as_token_array(tokens: Any) -> np.ndarray:
-    """Coerce ``tokens`` (sequence of ints or ndarray) to a 1-D int32 array.
+    """Coerce ``tokens`` (ints, ndarray, or ``TokenSeq``) to a 1-D int32 array.
 
     All caches operate on int32 token IDs; accepting lists keeps the public
-    API ergonomic for examples and tests.
+    API ergonomic for examples and tests.  Interned
+    :class:`~repro.core.tokens.TokenSeq` handles unwrap to their canonical
+    array, and already-canonical arrays pass through without copying.
     """
-    arr = np.asarray(tokens, dtype=np.int32)
-    if arr.ndim != 1:
-        raise ValueError(f"token sequence must be 1-D, got shape {arr.shape}")
-    return arr
+    return canonical_token_array(tokens)

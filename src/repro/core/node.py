@@ -55,6 +55,7 @@ class RadixNode:
         "hit_count",
         "pin_count",
         "state_payload",
+        "_edge_bytes",
     )
 
     def __init__(
@@ -75,6 +76,9 @@ class RadixNode:
         self.hit_count: int = 0
         self.pin_count: int = 0
         self.state_payload: Any = None
+        # Lazy raw-bytes view of ``edge_tokens`` for the match/insert byte
+        # fast path; the tree resets it whenever it reassigns the edge.
+        self._edge_bytes: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -126,6 +130,18 @@ class RadixNode:
     def child_for(self, token: int) -> Optional["RadixNode"]:
         """Child whose edge starts with ``token``, if any."""
         return self.children.get(int(token))
+
+    def edge_bytes(self) -> bytes:
+        """Raw int32 bytes of ``edge_tokens``, computed once per edge value.
+
+        Full-edge matches in :meth:`RadixTree.match`/``insert`` compare one
+        cached bytes object against a slice of the query's bytes — a single
+        C memcmp — instead of an elementwise numpy comparison per edge.
+        """
+        data = self._edge_bytes
+        if data is None:
+            data = self._edge_bytes = self.edge_tokens.tobytes()
+        return data
 
     def path_tokens(self) -> np.ndarray:
         """Full root→node token sequence (rebuilt; for tests and debugging)."""

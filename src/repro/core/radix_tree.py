@@ -18,6 +18,24 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.core.node import RadixNode
+from repro.core.tokens import TokenSeq
+
+_INT32 = np.dtype(np.int32)
+
+
+def _query_parts(tokens) -> tuple:
+    """``(array, bytes-or-None)`` view of a query sequence.
+
+    Interned :class:`TokenSeq` handles supply their cached bytes; canonical
+    int32 arrays are serialized once per call.  Anything else (lists, other
+    dtypes) gets no bytes view and walks the tree via elementwise
+    comparison, exactly as before the fast path existed.
+    """
+    if isinstance(tokens, TokenSeq):
+        return tokens.arr, tokens.tobytes()
+    if isinstance(tokens, np.ndarray) and tokens.ndim == 1 and tokens.dtype == _INT32:
+        return tokens, tokens.tobytes()
+    return tokens, None
 
 
 class TreeObserver:
@@ -78,7 +96,7 @@ def common_prefix_length(a: np.ndarray, b: np.ndarray) -> int:
     return limit
 
 
-@dataclass
+@dataclass(slots=True)
 class MatchResult:
     """Result of walking ``tokens`` down the tree without mutating it.
 
@@ -110,7 +128,7 @@ class MatchResult:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class InsertOutcome:
     """Result of inserting a token sequence.
 
@@ -166,17 +184,40 @@ class RadixTree:
     # Queries
     # ------------------------------------------------------------------
     def match(self, tokens: np.ndarray) -> MatchResult:
-        """Walk ``tokens`` down the tree; never mutates."""
+        """Walk ``tokens`` down the tree; never mutates.
+
+        Full-edge coverage — by far the common case on a walk — is tested
+        with one memcmp of the query's bytes against the node's cached edge
+        bytes; only a divergence (or a query ending mid-edge) falls back to
+        the elementwise :func:`common_prefix_length`.
+        """
+        tokens, qbytes = _query_parts(tokens)
         node = self.root
         matched = 0
+        n = len(tokens)
         path: list[RadixNode] = []
-        while matched < len(tokens):
-            child = node.child_for(tokens[matched])
+        while matched < n:
+            child = node.children.get(int(tokens[matched]))
             if child is None:
                 break
-            shared = common_prefix_length(child.edge_tokens, tokens[matched:])
+            edge = child.edge_tokens
+            edge_len = len(edge)
+            end = matched + edge_len
+            if qbytes is not None and end <= n:
+                edge_bytes = child._edge_bytes
+                if edge_bytes is None and edge.dtype == _INT32:
+                    edge_bytes = child._edge_bytes = edge.tobytes()
+                if (
+                    edge_bytes is not None
+                    and qbytes[matched * 4 : end * 4] == edge_bytes
+                ):
+                    matched = end
+                    node = child
+                    path.append(child)
+                    continue
+            shared = common_prefix_length(edge, tokens[matched:])
             matched += shared
-            if shared < len(child.edge_tokens):
+            if shared < edge_len:
                 # Diverged (or query exhausted) mid-edge: KVs up to `matched`
                 # are reusable but no node boundary was reached.
                 break
@@ -184,26 +225,60 @@ class RadixTree:
             path.append(child)
         return MatchResult(matched_len=matched, path=path)
 
-    def insert(self, tokens: np.ndarray, now: float) -> InsertOutcome:
-        """Insert ``tokens`` as a root path, splitting edges as needed."""
-        node = self.root
-        pos = 0
+    def insert(
+        self,
+        tokens: np.ndarray,
+        now: float,
+        start: Optional[RadixNode] = None,
+    ) -> InsertOutcome:
+        """Insert ``tokens`` as a root path, splitting edges as needed.
+
+        ``start`` is a walk-resume hint: a node the caller *guarantees* is
+        attached and whose path equals ``tokens[:start.seq_len]`` (e.g. the
+        deepest fully-matched node of a just-completed :meth:`match`, or a
+        still-pinned end node whose sequence ``tokens`` extends).  The walk
+        then skips straight to it — the root walk would deterministically
+        descend to the same node, so the outcome is identical.
+        """
+        tokens, qbytes = _query_parts(tokens)
+        if start is not None and start.parent is not None:
+            node = start
+            pos = start.seq_len
+        else:
+            node = self.root
+            pos = 0
+        n = len(tokens)
         split_node: Optional[RadixNode] = None
         new_leaf: Optional[RadixNode] = None
         new_edge_tokens = 0
-        while pos < len(tokens):
-            child = node.child_for(tokens[pos])
+        # Interned queries (qbytes cached => canonical write-protected array)
+        # can donate a zero-copy view as the new leaf's edge; a plain mutable
+        # array from an external caller is copied so the tree owns its edges.
+        tail = (lambda p: tokens[p:]) if qbytes is not None else (lambda p: tokens[p:].copy())
+        while pos < n:
+            child = node.children.get(int(tokens[pos]))
             if child is None:
-                new_leaf = RadixNode(tokens[pos:].copy(), parent=node, now=now)
+                new_leaf = RadixNode(tail(pos), parent=node, now=now)
                 node.children[new_leaf.first_token] = new_leaf
                 new_edge_tokens += len(new_leaf.edge_tokens)
                 node = new_leaf
-                pos = len(tokens)
+                pos = n
                 for obs in self._observers:
                     obs.on_node_added(new_leaf)
                 break
-            shared = common_prefix_length(child.edge_tokens, tokens[pos:])
-            if shared == len(child.edge_tokens):
+            edge = child.edge_tokens
+            end = pos + len(edge)
+            if qbytes is not None and end <= n:
+                # Same memcmp fast path as match(): descend on full coverage.
+                edge_bytes = child._edge_bytes
+                if edge_bytes is None and edge.dtype == _INT32:
+                    edge_bytes = child._edge_bytes = edge.tobytes()
+                if edge_bytes is not None and qbytes[pos * 4 : end * 4] == edge_bytes:
+                    node = child
+                    pos = end
+                    continue
+            shared = common_prefix_length(edge, tokens[pos:])
+            if shared == len(edge):
                 node = child
                 pos += shared
                 continue
@@ -212,7 +287,7 @@ class RadixTree:
             node = split_node
             pos += shared
             if pos < len(tokens):
-                new_leaf = RadixNode(tokens[pos:].copy(), parent=node, now=now)
+                new_leaf = RadixNode(tail(pos), parent=node, now=now)
                 node.children[new_leaf.first_token] = new_leaf
                 new_edge_tokens += len(new_leaf.edge_tokens)
                 node = new_leaf
@@ -241,12 +316,15 @@ class RadixTree:
             )
         parent = child.parent
         assert parent is not None, "cannot split the root's (empty) edge"
-        middle = RadixNode(child.edge_tokens[:at].copy(), parent=parent, now=now)
+        # Views, not copies: edge arrays are never mutated in place (every
+        # edit assigns a fresh array), so both halves can alias the buffer.
+        middle = RadixNode(child.edge_tokens[:at], parent=parent, now=now)
         # A pinned descendant pins every node on its path; the new middle
         # node sits on child's path so it inherits child's pin count.
         middle.pin_count = child.pin_count
         parent.children[middle.first_token] = middle
-        child.edge_tokens = child.edge_tokens[at:].copy()
+        child.edge_tokens = child.edge_tokens[at:]
+        child._edge_bytes = None
         child.parent = middle
         middle.children[child.first_token] = child
         for obs in self._observers:
@@ -289,6 +367,7 @@ class RadixTree:
         assert parent is not None
         first = node.first_token
         child.edge_tokens = np.concatenate([node.edge_tokens, child.edge_tokens])
+        child._edge_bytes = None
         child.parent = parent
         parent.children[first] = child
         node.parent = None
@@ -314,7 +393,8 @@ class RadixTree:
             raise ValueError(
                 f"keep_tokens must be in (0, {len(node.edge_tokens)}), got {keep_tokens}"
             )
-        node.edge_tokens = node.edge_tokens[:keep_tokens].copy()
+        node.edge_tokens = node.edge_tokens[:keep_tokens]
+        node._edge_bytes = None
         node.seq_len = node.parent_seq_len + keep_tokens
         for obs in self._observers:
             obs.on_leaf_truncated(node)
@@ -353,23 +433,32 @@ class RadixTree:
     # ------------------------------------------------------------------
     # Pinning (in-flight request protection)
     # ------------------------------------------------------------------
-    def pin_path(self, node: RadixNode) -> None:
-        """Pin every node from ``node`` up to (not including) the root."""
+    def pin_path(self, node: RadixNode, stop: Optional[RadixNode] = None) -> None:
+        """Pin every node from ``node`` up to (not including) the root.
+
+        ``stop`` bounds the walk: pinning stops *before* ``stop`` (which
+        must be an ancestor of ``node``).  Callers use it to transfer a pin
+        from a still-pinned ancestor path to a longer path — the shared
+        segment would receive +1 then −1 with no observable state in
+        between, so skipping it is identical and saves the double walk.
+        """
+        observers = self._observers
         cursor: Optional[RadixNode] = node
-        while cursor is not None and not cursor.is_root:
+        while cursor is not None and cursor is not stop and cursor.parent is not None:
             cursor.pin_count += 1
-            for obs in self._observers:
+            for obs in observers:
                 obs.on_pin_changed(cursor)
             cursor = cursor.parent
 
     def unpin_path(self, node: RadixNode) -> None:
         """Release a pin taken with :meth:`pin_path`."""
+        observers = self._observers
         cursor: Optional[RadixNode] = node
-        while cursor is not None and not cursor.is_root:
+        while cursor is not None and cursor.parent is not None:
             if cursor.pin_count <= 0:
                 raise ValueError(f"unbalanced unpin at node {cursor.node_id}")
             cursor.pin_count -= 1
-            for obs in self._observers:
+            for obs in observers:
                 obs.on_pin_changed(cursor)
             cursor = cursor.parent
 

@@ -2,8 +2,22 @@
 
 Both the single-node engine (:mod:`repro.engine.server`) and the cluster
 simulator (:mod:`repro.cluster.simulator`) replay traces over the same
-three-event loop; the priority queue's entry type and its tie-break rules
+three-event loop; the priority queue's entry layout and its tie-break rules
 live here so the two stay in lockstep.
+
+The queue is tuple-backed: one heap entry is a plain
+``(time, kind, seq, serial, payload)`` tuple, so scheduling an event
+allocates no per-event object and popping one costs a single ``heappop``.
+``serial`` is a per-queue strictly increasing counter appended purely as a
+comparison firewall — it guarantees tuple comparison never reaches the
+payload (the ``order=True`` dataclass footgun this layout replaced), while
+leaving the public ``(time, kind, seq)`` total order untouched for every
+queue whose seq numbers are unique (which per-queue counters guarantee).
+
+The previous object-per-event implementation is preserved as
+:class:`LegacyEventQueue` and selected by ``REPRO_LEGACY_QUEUE=1`` (checked
+at queue construction), so the golden-trace suite can assert the two
+produce byte-identical transcripts.
 """
 
 from __future__ import annotations
@@ -11,8 +25,22 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional
+
+#: Environment switch: ``REPRO_LEGACY_QUEUE=1`` makes ``EventQueue()``
+#: construct the frozen object-per-event implementation instead of the
+#: tuple-backed one.  Read per construction, so one process can run both.
+LEGACY_QUEUE_ENV = "REPRO_LEGACY_QUEUE"
+
+#: Heap-entry layout of the tuple-backed queue (and of the entry views the
+#: legacy queue synthesizes): indices into one entry tuple.
+ENTRY_TIME = 0
+ENTRY_KIND = 1
+ENTRY_SEQ = 2
+ENTRY_SERIAL = 3
+ENTRY_PAYLOAD = 4
 
 
 class EventKind(enum.IntEnum):
@@ -34,18 +62,54 @@ class EventKind(enum.IntEnum):
     CONTROL = 4
 
 
-@dataclass(order=True)
+@dataclass(eq=False)
 class Event:
-    """One scheduled simulator event; ordered by (time, kind, seq)."""
+    """One scheduled simulator event; ordered by the explicit key
+    ``(time, kind, seq)``.
+
+    Comparison is hand-written rather than ``dataclass(order=True)`` so the
+    payload can never participate in ordering — with generated ordering a
+    future field reshuffle (or a forgotten ``compare=False``) would silently
+    compare payloads and crash the heap on the first genuine key tie.
+    """
 
     time: float
     kind: int
     seq: int
-    payload: Any = field(compare=False)
+    payload: Any
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """The total-order key; payloads are never compared."""
+        return (self.time, self.kind, self.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() == other.sort_key()
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` with monotonic sequencing.
+    """A deterministic tuple-backed min-heap ordered by ``(time, kind, seq)``.
 
     The per-queue sequence number makes ordering total (and FIFO among
     same-time same-kind events), so simulator runs are reproducible
@@ -58,11 +122,24 @@ class EventQueue:
     deliberately share numbering, but sharing one counter across queues
     makes seq values — and thus replay transcripts — depend on unrelated
     simulations running in the same process.
+
+    Two pop surfaces exist: :meth:`pop`/:meth:`peek` return :class:`Event`
+    objects (the compatibility API), while :meth:`pop_entry` /
+    :meth:`peek_entry` expose the raw heap tuples for hot loops that want
+    zero per-event allocation (see the ``ENTRY_*`` index constants).
     """
 
+    __slots__ = ("_heap", "_seq", "_serial")
+
+    def __new__(cls, seq: Optional[Iterator[int]] = None) -> "EventQueue":
+        if cls is EventQueue and os.environ.get(LEGACY_QUEUE_ENV) == "1":
+            return super().__new__(LegacyEventQueue)
+        return super().__new__(cls)
+
     def __init__(self, seq: Optional[Iterator[int]] = None) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, int, Any]] = []
         self._seq = itertools.count() if seq is None else seq
+        self._serial = itertools.count()
 
     def __bool__(self) -> bool:
         return bool(self._heap)
@@ -84,12 +161,70 @@ class EventQueue:
         """
         heapq.heappush(
             self._heap,
-            Event(time, int(kind), next(self._seq) if seq is None else seq, payload),
+            (
+                time,
+                int(kind),
+                next(self._seq) if seq is None else seq,
+                next(self._serial),
+                payload,
+            ),
         )
 
     def pop(self) -> Event:
-        return heapq.heappop(self._heap)
+        time, kind, seq, _serial, payload = heapq.heappop(self._heap)
+        return Event(time, kind, seq, payload)
 
     def peek(self) -> Event:
         """The next event to pop, without removing it (queue must be non-empty)."""
+        time, kind, seq, _serial, payload = self._heap[0]
+        return Event(time, kind, seq, payload)
+
+    def pop_entry(self) -> tuple[float, int, int, int, Any]:
+        """Pop the raw ``(time, kind, seq, serial, payload)`` heap entry."""
+        return heapq.heappop(self._heap)
+
+    def peek_entry(self) -> tuple[float, int, int, int, Any]:
+        """The raw head entry, without removing it (queue must be non-empty)."""
         return self._heap[0]
+
+
+class LegacyEventQueue(EventQueue):
+    """The frozen object-per-event queue (one :class:`Event` per heap slot).
+
+    Kept as the byte-identity reference for the tuple-backed queue: the
+    golden-trace suite replays every engine with ``REPRO_LEGACY_QUEUE=1``
+    and asserts the transcripts match.  Ordering is the same explicit
+    ``(time, kind, seq)`` key, with push order breaking exact key ties
+    (tracked per entry, mirroring the tuple queue's ``serial`` firewall).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, seq: Optional[Iterator[int]] = None) -> None:
+        # Heap of (Event, serial) pairs; Event comparison never reaches the
+        # payload, and serial settles exact key ties by push order.
+        self._heap: list[tuple[Event, int]] = []  # type: ignore[assignment]
+        self._seq = itertools.count() if seq is None else seq
+        self._serial = itertools.count()
+
+    def push(
+        self, time: float, kind: EventKind, payload: Any, seq: Optional[int] = None
+    ) -> None:
+        event = Event(
+            time, int(kind), next(self._seq) if seq is None else seq, payload
+        )
+        heapq.heappush(self._heap, (event, next(self._serial)))
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)[0]
+
+    def peek(self) -> Event:
+        return self._heap[0][0]
+
+    def pop_entry(self) -> tuple[float, int, int, int, Any]:
+        event, serial = heapq.heappop(self._heap)
+        return (event.time, event.kind, event.seq, serial, event.payload)
+
+    def peek_entry(self) -> tuple[float, int, int, int, Any]:
+        event, serial = self._heap[0]
+        return (event.time, event.kind, event.seq, serial, event.payload)

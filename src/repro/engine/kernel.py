@@ -119,7 +119,7 @@ class KernelConfig:
             raise ValueError(f"max_running must be >= 1, got {self.max_running}")
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     """A request occupying an executor slot between service start and prefill end."""
 
@@ -130,7 +130,7 @@ class _InFlight:
     prefill_seconds: float
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingTransfer:
     """A parked request waiting for its cross-replica state transfer."""
 
@@ -139,7 +139,7 @@ class _PendingTransfer:
     started: float
 
 
-@dataclass
+@dataclass(slots=True)
 class _PrefillJob:
     """Head-of-line prefill progress of the token-level scheduler."""
 
@@ -167,7 +167,7 @@ class _PrefillJob:
         return self.request.input_len - self.position
 
 
-@dataclass
+@dataclass(slots=True)
 class _DecodeJob:
     """One active decode stream of the token-level scheduler."""
 
@@ -182,7 +182,7 @@ class _DecodeJob:
         return self.request.output_len - self.produced
 
 
-@dataclass
+@dataclass(slots=True)
 class _IterationEnd:
     """Payload of one token-level scheduler step (an iteration boundary)."""
 
@@ -270,7 +270,19 @@ class ContinuousBatchingScheduler(ReplicaScheduler):
             [request.input_tokens for request in batch], now
         )
         self.free_slots -= n_start
-        for request, session in zip(batch, sessions):
+        prefill_times = kernel.latency.prefill_seconds_batch(
+            kernel.model,
+            [
+                (
+                    request.input_len,
+                    session.hit_tokens,
+                    session.reused_bytes,
+                    session.reused_secondary_bytes,
+                )
+                for request, session in zip(batch, sessions)
+            ],
+        )
+        for request, session, prefill_seconds in zip(batch, sessions, prefill_times):
             if self._track_active:  # scenario runs: failover needs the registry
                 # [replica, request, session, prefill_done]
                 kernel._active_sessions[id(session)] = [
@@ -279,13 +291,6 @@ class ContinuousBatchingScheduler(ReplicaScheduler):
                     session,
                     False,
                 ]
-            prefill_seconds = kernel.latency.prefill_seconds(
-                kernel.model,
-                seq_len=request.input_len,
-                reused_len=session.hit_tokens,
-                reused_bytes=session.reused_bytes,
-                secondary_bytes=session.reused_secondary_bytes,
-            )
             self._push(
                 now + prefill_seconds,
                 EventKind.PREFILL_DONE,
@@ -541,6 +546,7 @@ class SimulationKernel:
         self.latency = latency or LatencyModel()
         self.router = router
         self.config = config or KernelConfig()
+        self._record_timeseries = self.config.record_timeseries
         self.scenario = sorted(scenario, key=lambda ev: ev.time) if scenario else []
         self._scheduler_factory = scheduler_factory or (
             lambda kernel, replica: ContinuousBatchingScheduler(
@@ -629,10 +635,13 @@ class SimulationKernel:
                 )
 
         # The event loop is the simulator's hot path: dispatch is inlined
-        # and bound to locals (one run processes 3+ events per request).
-        # Joins append to self.schedulers in place, so the local alias
-        # stays valid across topology changes.
+        # and bound to locals (one run processes 3+ events per request),
+        # consuming raw (time, kind, seq, serial, payload) heap entries so
+        # no Event object is built per dispatch.  Joins append to
+        # self.schedulers in place, so the local alias stays valid across
+        # topology changes.
         events = self.events
+        pop_entry = events.pop_entry
         clock = self.clock
         schedulers = self.schedulers
         track_active = self._track_active
@@ -643,11 +652,9 @@ class SimulationKernel:
         transfer_kind = int(EventKind.TRANSFER_DONE)
         n_events = 0
         while events:
-            event = events.pop()
-            now = clock.advance(event.time)
+            time, kind, _seq, _serial, payload = pop_entry()
+            now = clock.advance(time)
             n_events += 1
-            kind = event.kind
-            payload = event.payload
             if kind == prefill_kind:
                 replica = payload.replica
                 schedulers[replica].on_step_done(payload, now)
@@ -964,24 +971,25 @@ class SimulationKernel:
         be visible to the very next scheduling decision.
         """
         events = self.events
+        arrival_kind = int(EventKind.REQUEST_ARRIVAL)
         while events:
-            head = events.peek()
-            if head.kind != int(EventKind.REQUEST_ARRIVAL) or head.time > now:
+            head = events.peek_entry()
+            if head[1] != arrival_kind or head[0] > now:
                 break
-            event = events.pop()
+            payload = events.pop_entry()[4]
             self._n_events += 1
-            if self._streaming and event.payload.round_index == 0:
+            if self._streaming and payload.round_index == 0:
                 # The freshly pulled session may itself arrive <= now; the
                 # loop keeps draining until the head moves past ``now``.
                 self._push_next_session()
-            self._admit(event.payload, now)
+            self._admit(payload, now)
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def _sample(self, replica: int, now: float, force: bool = False) -> None:
         """Record queue-depth / running change points for one replica."""
-        if not self.config.record_timeseries:
+        if not self._record_timeseries:
             return
         scheduler = self.schedulers[replica]
         depth = scheduler.queue_depth

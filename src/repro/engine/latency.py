@@ -16,6 +16,7 @@ request near 0.9 s, matching the scale of the paper's TTFT plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.models.config import ModelConfig
 from repro.models.flops import model_suffix_prefill_flops
@@ -79,6 +80,38 @@ class LatencyModel:
         fetch = (reused_bytes - secondary_bytes) / self.fetch_bandwidth_bytes_per_s
         fetch += secondary_bytes / self.secondary_fetch_bandwidth_bytes_per_s
         return self.prefill_overhead_s + compute + fetch
+
+    def prefill_seconds_batch(
+        self,
+        model: ModelConfig,
+        items: "Sequence[tuple[int, int, int, int]]",
+    ) -> list[float]:
+        """Vectorized :meth:`prefill_seconds` over a scheduler batch.
+
+        ``items`` holds ``(seq_len, reused_len, reused_bytes,
+        secondary_bytes)`` per request.  Invariant terms (effective FLOP/s,
+        bandwidths, launch overhead) are hoisted out of the loop; each
+        element's arithmetic keeps the scalar method's exact expression
+        order, so the two paths are bit-identical float for float — the
+        batch API is a per-call-overhead optimization, not a reformulation.
+        """
+        eff = self.peak_flops_per_s * self.mfu  # == effective_flops_per_s
+        fetch_bw = self.fetch_bandwidth_bytes_per_s
+        secondary_bw = self.secondary_fetch_bandwidth_bytes_per_s
+        overhead = self.prefill_overhead_s
+        out = []
+        for seq_len, reused_len, reused_bytes, secondary_bytes in items:
+            if not 0 <= secondary_bytes <= max(reused_bytes, 0):
+                raise ValueError(
+                    f"secondary_bytes must be within [0, reused_bytes], got "
+                    f"{secondary_bytes} of {reused_bytes}"
+                )
+            flops = model_suffix_prefill_flops(model, seq_len, reused_len)
+            compute = flops / eff
+            fetch = (reused_bytes - secondary_bytes) / fetch_bw
+            fetch += secondary_bytes / secondary_bw
+            out.append(overhead + compute + fetch)
+        return out
 
     def vanilla_prefill_seconds(self, model: ModelConfig, seq_len: int) -> float:
         """Full-prefill time with no cache reuse."""

@@ -11,14 +11,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.workloads.trace import TraceSession
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineRequest:
     """One round of one session, materialized for the engine.
 
     ``input_tokens`` is the full request input (accumulated context plus the
     round's new segment); ``full_tokens`` additionally includes the round's
     output, which the simulator "generates" during decode and admits into
-    the cache on completion.
+    the cache on completion.  Both are interned ``TokenSeq`` handles when
+    built via :meth:`from_session` (plain arrays are accepted too).
     """
 
     session_id: int
@@ -37,13 +38,19 @@ class EngineRequest:
     def from_session(
         cls, session: "TraceSession", round_index: int, arrival: float
     ) -> "EngineRequest":
-        """Materialize round ``round_index`` of a trace session at ``arrival``."""
+        """Materialize round ``round_index`` of a trace session at ``arrival``.
+
+        Tokens are interned :class:`~repro.core.tokens.TokenSeq` handles, so
+        every downstream consumer (cache begin/commit, router probes, radix
+        match/insert) shares one canonical array and its cached bytes.
+        """
+        input_seq, full_seq = session.interned_round(round_index)
         return cls(
             session_id=session.session_id,
             round_index=round_index,
             arrival_time=arrival,
-            input_tokens=session.full_input(round_index),
-            full_tokens=session.full_sequence(round_index),
+            input_tokens=input_seq,
+            full_tokens=full_seq,
         )
 
     @property

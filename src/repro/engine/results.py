@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord:
     """Everything measured about one served request."""
 

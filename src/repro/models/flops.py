@@ -68,9 +68,48 @@ def flop_breakdown(config: ModelConfig, seq_len: int) -> dict[LayerType, float]:
     }
 
 
+#: Exact-value memo for :func:`model_prefill_flops`.  The eviction scorer and
+#: latency model call it thousands of times per simulated second with a
+#: handful of distinct ``(config, seq_len)`` pairs, so we cache the *computed*
+#: float (never a refactored closed form — float association differences would
+#: shift golden-trace numbers).  Keyed by ``id(config)`` with a strong config
+#: reference as an identity check, so a recycled id can never alias a stale
+#: entry and lookups skip hashing the 11-field frozen dataclass.
+_PREFILL_MEMO: dict[int, tuple[ModelConfig, dict[int, float]]] = {}
+_PREFILL_MEMO_MAX_CONFIGS = 64
+
+
 def model_prefill_flops(config: ModelConfig, seq_len: int) -> float:
     """Total FLOPs for the whole model to prefill ``seq_len`` tokens from scratch."""
-    return sum(flop_breakdown(config, seq_len).values())
+    entry = _PREFILL_MEMO.get(id(config))
+    if entry is None or entry[0] is not config:
+        if len(_PREFILL_MEMO) >= _PREFILL_MEMO_MAX_CONFIGS:
+            _PREFILL_MEMO.clear()
+        entry = (config, {})
+        _PREFILL_MEMO[id(config)] = entry
+    per_len = entry[1]
+    value = per_len.get(seq_len)
+    if value is None:
+        value = sum(flop_breakdown(config, seq_len).values())
+        per_len[seq_len] = value
+    return value
+
+
+def prefill_flops_table(config: ModelConfig) -> dict[int, float]:
+    """The live ``seq_len -> flops`` memo dict for ``config``.
+
+    Hot callers (the eviction scorer) can probe this dict directly and fall
+    back to :func:`model_prefill_flops` on a miss, skipping two call frames
+    per lookup.  The dict is the memo itself: entries added by either path
+    are shared.
+    """
+    entry = _PREFILL_MEMO.get(id(config))
+    if entry is None or entry[0] is not config:
+        if len(_PREFILL_MEMO) >= _PREFILL_MEMO_MAX_CONFIGS:
+            _PREFILL_MEMO.clear()
+        entry = (config, {})
+        _PREFILL_MEMO[id(config)] = entry
+    return entry[1]
 
 
 def model_suffix_prefill_flops(

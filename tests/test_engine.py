@@ -52,6 +52,24 @@ class TestLatencyModel:
         with pytest.raises(ValueError):
             LatencyModel(decode_seconds_per_token=-1)
 
+    def test_batch_is_bit_identical_to_scalar(self, hybrid):
+        """The scheduler's batch path must reproduce the scalar method's
+        floats exactly (== , not approx): both feed committed transcripts."""
+        lm = LatencyModel()
+        items = [
+            (1000, 0, 0, 0),
+            (10000, 8000, int(3e8), 0),
+            (4096, 4096, int(1e9), int(4e8)),
+            (777, 130, 12345678, 1234567),
+        ]
+        batch = lm.prefill_seconds_batch(hybrid, items)
+        for (seq_len, reused_len, reused_bytes, secondary), got in zip(items, batch):
+            assert got == lm.prefill_seconds(
+                hybrid, seq_len, reused_len, reused_bytes, secondary
+            )
+        with pytest.raises(ValueError):
+            lm.prefill_seconds_batch(hybrid, [(100, 0, 10, 20)])
+
 
 class TestEngineRequest:
     def test_lengths(self):

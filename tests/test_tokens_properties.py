@@ -1,0 +1,158 @@
+"""Property tests for :class:`repro.core.tokens.TokenSeq` interning.
+
+The PR 6 hot-path campaign made ``TokenSeq`` the canonical token handle
+on every probe path (``RadixTree.match``/``insert``, ``probe_hit_tokens``,
+``PrefixDirectory.lookup``); these hypothesis suites pin the contract the
+optimization relies on: a ``TokenSeq`` is *observationally identical* to
+the raw numpy canonicalization it caches — same array, same equality, same
+hashes — across input dtypes, non-contiguous slices, and the empty
+sequence, and routing probes see identical hits whether handed raw tokens
+or the interned handle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.router import probe_hit_tokens
+from repro.core.cache import MarconiCache
+from repro.core.tokens import TokenSeq, canonical_token_array
+from repro.models.memory import node_state_bytes
+from repro.models.presets import hybrid_7b
+
+# Values stay within int32 (the canonical dtype) so every input dtype
+# round-trips losslessly through canonicalization.
+token_lists = st.lists(
+    st.integers(min_value=0, max_value=2**31 - 1), min_size=0, max_size=64
+)
+
+source_dtypes = st.sampled_from([np.int32, np.int64, np.uint16, np.int16, np.uint8])
+
+
+@st.composite
+def token_arrays(draw):
+    """1-D integer arrays in assorted dtypes, sometimes non-contiguous."""
+    dtype = draw(source_dtypes)
+    info = np.iinfo(dtype)
+    values = draw(
+        st.lists(
+            st.integers(
+                min_value=max(0, info.min), max_value=min(info.max, 2**31 - 1)
+            ),
+            min_size=0,
+            max_size=64,
+        )
+    )
+    arr = np.asarray(values, dtype=dtype)
+    if draw(st.booleans()) and len(arr) >= 2:
+        # Strided view: canonicalization must copy it contiguous.
+        arr = np.repeat(arr, 2)[::2]
+    return arr
+
+
+class TestCanonicalizationAgreement:
+    @given(arr=token_arrays())
+    @settings(max_examples=200, deadline=None)
+    def test_interned_array_is_the_canonical_array(self, arr):
+        seq = TokenSeq(arr)
+        canon = canonical_token_array(np.asarray(arr, dtype=np.int32))
+        assert seq.arr.dtype == np.int32
+        assert seq.arr.ndim == 1
+        assert seq.arr.flags.c_contiguous
+        assert np.array_equal(seq.arr, canon)
+        assert len(seq) == len(canon)
+
+    @given(values=token_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_equality_and_hash_track_content(self, values):
+        a = TokenSeq(values)
+        b = TokenSeq(np.asarray(values, dtype=np.int64))
+        assert a == b
+        assert hash(a) == hash(b)
+        # Equality also holds against the raw canonical array and the list.
+        assert a == np.asarray(values, dtype=np.int32)
+        assert a == values
+        # Perturbed content must not compare equal.
+        if values:
+            changed = list(values)
+            changed[0] ^= 1
+            assert a != TokenSeq(changed)
+
+    @given(values=token_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_bytes_and_prefix_hashes_match_numpy(self, values):
+        seq = TokenSeq(values)
+        canon = np.asarray(values, dtype=np.int32)
+        assert seq.tobytes() == canon.tobytes()
+        # Every prefix hash equals the hash a fresh interning of that
+        # prefix computes — the O(n) chain is consistent with first
+        # principles.
+        for length in range(len(values) + 1):
+            assert seq.prefix_hash(length) == TokenSeq(values[:length]).prefix_hash(
+                length
+            )
+
+    @given(arr=token_arrays())
+    @settings(max_examples=100, deadline=None)
+    def test_of_is_idempotent_and_interning_stable(self, arr):
+        seq = TokenSeq.of(arr)
+        assert TokenSeq.of(seq) is seq
+        # Slicing the interned array yields views the tree may alias;
+        # the parent array must be write-protected.
+        assert not seq.arr.flags.writeable
+
+    def test_empty_sequence(self):
+        seq = TokenSeq([])
+        assert len(seq) == 0
+        assert seq.tobytes() == b""
+        assert seq == TokenSeq(np.asarray([], dtype=np.int64))
+        assert seq.prefix_hash(0) == 0
+        with pytest.raises(ValueError):
+            seq.prefix_hash(1)
+
+    def test_defensive_copy_insulates_caches(self):
+        arr = np.arange(8, dtype=np.int32)
+        seq = TokenSeq(arr)  # copy=True default: snapshot
+        arr[0] = 999
+        assert seq.arr[0] == 0
+
+
+class TestProbeHitTokensUnchanged:
+    """Interning must not change what routing probes observe."""
+
+    @pytest.fixture(scope="class")
+    def warm_cache(self):
+        model = hybrid_7b()
+        cache = MarconiCache(model, 32 * node_state_bytes(model, 4000, True))
+        rng = np.random.default_rng(5)
+        self_prefix = rng.integers(0, 1000, 256, dtype=np.int32)
+        sequences = []
+        for _ in range(12):
+            tail = rng.integers(0, 1000, int(rng.integers(16, 512)), dtype=np.int32)
+            full = np.concatenate([self_prefix, tail])
+            session = cache.begin(full, now=0.0)
+            session.commit(full, now=1.0)
+            sequences.append(full)
+        return cache, sequences
+
+    def test_probe_agrees_across_input_forms(self, warm_cache):
+        cache, sequences = warm_cache
+        rng = np.random.default_rng(9)
+        queries = list(sequences)
+        # Also probe prefixes, extensions, and misses.
+        for seq in sequences[:4]:
+            queries.append(seq[: len(seq) // 2])
+            queries.append(
+                np.concatenate([seq, rng.integers(0, 1000, 32, dtype=np.int32)])
+            )
+        queries.append(rng.integers(2000, 3000, 64, dtype=np.int32))
+        for query in queries:
+            if len(query) == 0:
+                continue
+            raw = probe_hit_tokens(cache, query.copy())
+            interned = probe_hit_tokens(cache, TokenSeq(query))
+            as_list = probe_hit_tokens(cache, query.astype(np.int64))
+            assert raw == interned == as_list
