@@ -28,12 +28,35 @@ import abc
 import enum
 import weakref
 from dataclasses import dataclass, field
-from typing import Any, Optional, Protocol, Sequence, runtime_checkable
+from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.core.stats import CacheStats
 from repro.core.tokens import canonical_token_array
+
+#: A time source: every cache/serving timestamp comes from one of these.
+#: Offline replays inject the simulation kernel's virtual clock; the live
+#: gateway injects ``time.monotonic``; components that only need *ordering*
+#: (not durations) default to :func:`monotonic_counter`.
+Clock = Callable[[], float]
+
+
+def monotonic_counter(start: float = 0.0, step: float = 1.0) -> Clock:
+    """A fake :data:`Clock` that ticks ``step`` on every call.
+
+    Timestamps only order cache accesses (recency, eviction ranks), so a
+    counter is a valid clock wherever real durations are not observed.
+    The returned callable is self-contained state — two counters never
+    interfere — which makes it a safe per-instance default.
+    """
+    state = {"now": float(start)}
+
+    def tick() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return tick
 
 
 @dataclass(slots=True)

@@ -4,6 +4,9 @@ from repro.metrics.export import (
     cluster_summary_dict,
     cluster_summary_from_json,
     cluster_summary_to_json,
+    gateway_summary_dict,
+    gateway_summary_from_json,
+    gateway_summary_to_json,
     records_from_csv,
     records_to_csv,
     summary_dict,
@@ -54,4 +57,7 @@ __all__ = [
     "cluster_summary_dict",
     "cluster_summary_to_json",
     "cluster_summary_from_json",
+    "gateway_summary_dict",
+    "gateway_summary_to_json",
+    "gateway_summary_from_json",
 ]

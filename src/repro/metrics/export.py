@@ -110,3 +110,31 @@ def cluster_summary_to_json(result, path: str | Path) -> None:
 
 
 cluster_summary_from_json = summary_from_json
+
+
+def gateway_summary_dict(gateway) -> dict:
+    """Aggregate view of one live gateway (duck-typed on
+    :class:`repro.serving.gateway.Gateway`): the admission counters
+    (admitted/shed/aborted, response-cache hits), per-tier queue depths,
+    response-cache hit/byte stats, and the underlying prefix cache's
+    counters — so live runs land in the same reporting pipeline as
+    simulated ones."""
+    summary: dict = {
+        "gateway": gateway.stats.snapshot(),
+        "tiers": gateway.tier_depths(),
+    }
+    if gateway.response_cache is not None:
+        summary["response_cache"] = gateway.response_cache.stats.snapshot()
+    cache = getattr(gateway.server, "cache", None)
+    if cache is not None:
+        summary["prefix_cache"] = cache.stats.snapshot()
+        summary["open_sessions"] = cache.open_sessions
+    return summary
+
+
+def gateway_summary_to_json(gateway, path: str | Path) -> None:
+    """Write :func:`gateway_summary_dict` as pretty-printed JSON."""
+    _write_json(gateway_summary_dict(gateway), path)
+
+
+gateway_summary_from_json = summary_from_json

@@ -1,5 +1,59 @@
-"""Exact-reuse serving: the executable model behind the Marconi cache."""
+"""Live serving: the executable model behind the Marconi cache, online.
 
-from repro.serving.engine import ExactReuseServer, ServedRequest
+``engine`` is the transactional single-request flow (begin → prefill →
+decode → commit); ``gateway`` multiplexes it across concurrent asyncio
+clients with admission control, SLO tiers, and a request-level response
+cache; ``replay`` drives the gateway from recorded traces at wall-clock
+speed; ``netserve`` puts a plain-socket line protocol in front.
+"""
 
-__all__ = ["ExactReuseServer", "ServedRequest"]
+from repro.serving.engine import (
+    GREEDY,
+    DecodeParams,
+    ExactReuseServer,
+    ServedRequest,
+)
+from repro.serving.gateway import (
+    DEFAULT_TIERS,
+    AdmissionRejected,
+    Gateway,
+    GatewayClosed,
+    GatewayConfig,
+    GatewayError,
+    GatewayResult,
+    GatewayStats,
+    SLOTier,
+)
+from repro.serving.netserve import GatewayClient, GatewayClientError, GatewayServer
+from repro.serving.replay import (
+    CacheOnlyServer,
+    ReplayRecord,
+    ReplayReport,
+    TraceReplayer,
+)
+from repro.serving.response_cache import ResponseCache, ResponseCacheStats
+
+__all__ = [
+    "GREEDY",
+    "DEFAULT_TIERS",
+    "AdmissionRejected",
+    "CacheOnlyServer",
+    "DecodeParams",
+    "ExactReuseServer",
+    "Gateway",
+    "GatewayClient",
+    "GatewayClientError",
+    "GatewayClosed",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayResult",
+    "GatewayServer",
+    "GatewayStats",
+    "ReplayRecord",
+    "ReplayReport",
+    "ResponseCache",
+    "ResponseCacheStats",
+    "SLOTier",
+    "ServedRequest",
+    "TraceReplayer",
+]

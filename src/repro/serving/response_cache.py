@@ -1,0 +1,154 @@
+"""Request-level response cache layered above the prefix cache.
+
+Where the prefix cache reuses *model state* (skipping prefill compute but
+still decoding every output token), the response cache reuses the *entire
+response*: a repeat of an identical request — same canonicalized input
+tokens, same output length, same decode parameters — is answered from
+memory without touching the model or the prefix cache at all (mnimi-style
+request-level LLM caching).
+
+This is only sound under deterministic decoding.  A greedy request is a
+pure function of ``(input, n_output)``, so serving the stored response is
+byte-identical to recomputing it.  A sampled request (``temperature > 0``)
+is supposed to be an independent draw on every call — caching it would
+silently correlate what should be independent samples — so those requests
+bypass this layer entirely (the gateway enforces it; :meth:`make_key`
+refuses to build a key for them as defense in depth).
+
+Eviction is plain LRU over a bounded entry count and byte budget: response
+reuse is recency-driven (retries, page refreshes, duplicated fan-out
+requests), and unlike prefix states there is no FLOP-weighted value to
+trade off — every entry costs one full serve to rebuild.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.core.interfaces import as_token_array
+from repro.serving.engine import DecodeParams, ServedRequest
+
+
+@dataclass
+class ResponseCacheStats:
+    """Running totals for one response cache instance."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected_inserts: int = 0
+    stored_bytes: int = 0  # current footprint of all cached responses
+    served_bytes: int = 0  # cumulative response bytes answered from cache
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejected_inserts": self.rejected_inserts,
+            "stored_bytes": self.stored_bytes,
+            "served_bytes": self.served_bytes,
+        }
+
+
+@dataclass
+class _Entry:
+    output_tokens: np.ndarray
+    full_sequence: np.ndarray
+    hit_tokens: int
+    prefilled_tokens: int
+    nbytes: int
+
+
+class ResponseCache:
+    """Bounded LRU map from canonicalized requests to full responses."""
+
+    def __init__(self, max_entries: int = 1024, max_bytes: int = 32 << 20) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = ResponseCacheStats()
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def make_key(
+        self, tokens: np.ndarray, n_output: int, params: DecodeParams
+    ) -> Hashable:
+        """Canonical identity of a request: input bytes + decode contract."""
+        if not params.deterministic:
+            raise ValueError(
+                "sampled requests (temperature > 0) are not response-cacheable: "
+                "each call must be an independent draw"
+            )
+        return (as_token_array(tokens).tobytes(), int(n_output))
+
+    def get(self, key: Hashable) -> Optional[ServedRequest]:
+        """Look up a cached response; returns a fresh, safe-to-hold copy."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.served_bytes += entry.nbytes
+        # Copies, so callers can never mutate the cached arrays (and the
+        # hit is byte-identical to the cold serve it memoized).
+        return ServedRequest(
+            output_tokens=entry.output_tokens.copy(),
+            hit_tokens=entry.hit_tokens,
+            prefilled_tokens=entry.prefilled_tokens,
+            full_sequence=entry.full_sequence.copy(),
+        )
+
+    def put(self, key: Hashable, served: ServedRequest) -> bool:
+        """Store a cold serve's response.  Returns False when it cannot fit."""
+        nbytes = int(served.output_tokens.nbytes + served.full_sequence.nbytes)
+        if nbytes > self.max_bytes:
+            self.stats.rejected_inserts += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.stored_bytes -= old.nbytes
+        self._entries[key] = _Entry(
+            output_tokens=served.output_tokens.copy(),
+            full_sequence=served.full_sequence.copy(),
+            hit_tokens=served.hit_tokens,
+            prefilled_tokens=served.prefilled_tokens,
+            nbytes=nbytes,
+        )
+        self.stats.stored_bytes += nbytes
+        self.stats.insertions += 1
+        while (
+            len(self._entries) > self.max_entries
+            or self.stats.stored_bytes > self.max_bytes
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.stored_bytes -= evicted.nbytes
+            self.stats.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept: they are lifetime totals)."""
+        self._entries.clear()
+        self.stats.stored_bytes = 0

@@ -9,7 +9,7 @@ import pytest
 
 from repro.models.presets import tiny_test_model
 from repro.nn.hybrid import HybridModel
-from repro.serving.engine import ExactReuseServer
+from repro.serving.engine import DecodeParams, ExactReuseServer
 
 
 @pytest.fixture
@@ -112,3 +112,100 @@ class TestExactReuse:
         second = server.serve(follow, 4)
         assert second.hit_tokens + second.prefilled_tokens == len(follow)
         assert second.hit_tokens == len(first.full_sequence)
+
+
+class TestServeEdgeCases:
+    def test_empty_input_rejected_with_clear_error(self, tiny):
+        server = ExactReuseServer(tiny, int(1e9), seed=0)
+        with pytest.raises(ValueError, match="empty request"):
+            server.serve(np.empty(0, dtype=np.int32), 4)
+        with pytest.raises(ValueError, match="empty request"):
+            server.serve([], 4)
+        # Nothing was begun: the failed request leaves no session behind.
+        assert server.cache.open_sessions == 0
+
+    def test_negative_n_output_rejected(self, tiny, tokens):
+        server = ExactReuseServer(tiny, int(1e9), seed=0)
+        with pytest.raises(ValueError, match="n_output"):
+            server.serve(tokens(10, seed=1) % tiny.vocab_size, -1)
+        assert server.cache.open_sessions == 0
+
+    def test_n_output_zero_commits_input_only(self, tiny, tokens):
+        """n_output=0 is prefill-and-commit: no tokens decoded, and the
+        committed state is reusable by a longer follow-up."""
+        server = ExactReuseServer(tiny, int(1e9), seed=0)
+        context = tokens(24, seed=2) % tiny.vocab_size
+        served = server.serve(context, 0)
+        assert served.output_tokens.shape == (0,)
+        assert served.output_tokens.dtype == np.int32
+        np.testing.assert_array_equal(served.full_sequence, context)
+        assert served.prefilled_tokens == len(context)
+
+        follow = np.concatenate([context, tokens(8, seed=3) % tiny.vocab_size])
+        second = server.serve(follow, 2)
+        assert second.hit_tokens > 0
+        assert server.cache.open_sessions == 0
+
+    def test_serve_steps_closed_early_aborts_session(self, tiny, tokens):
+        server = ExactReuseServer(tiny, int(1e9), seed=0)
+        gen = server.serve_steps(tokens(20, seed=4) % tiny.vocab_size, 8)
+        next(gen)  # prefill ran, session is open
+        assert server.cache.open_sessions == 1
+        gen.close()
+        assert server.cache.open_sessions == 0
+        assert all(n.pin_count == 0 for n in server.cache.tree.iter_nodes())
+
+    def test_seeded_sampling_reproducible_and_exact_under_reuse(
+        self, tiny, reference, tokens
+    ):
+        """Seeded temperature sampling is reproducible across servers, and
+        prefix reuse does not perturb the sampled outputs either."""
+        params = DecodeParams(temperature=0.7, seed=99)
+        prefix = tokens(20, seed=5) % tiny.vocab_size
+
+        warm_server = ExactReuseServer(tiny, int(1e9), seed=0)
+        first = warm_server.serve(prefix, 4)  # greedy pass populates the cache
+        query = np.concatenate(
+            [first.full_sequence, tokens(6, seed=55) % tiny.vocab_size]
+        )
+        cold = ExactReuseServer(tiny, int(1e9), seed=0).serve(query, 5, params=params)
+        warm = warm_server.serve(query, 5, params=params)
+        assert warm.hit_tokens == len(first.full_sequence)
+        np.testing.assert_array_equal(warm.output_tokens, cold.output_tokens)
+
+    def test_forced_outputs_override_selection_and_commit(self, tiny, tokens):
+        """Teacher forcing: the served output is the forced sequence, the
+        commit reflects it, and n_output is taken from its length."""
+        server = ExactReuseServer(tiny, int(1e9), seed=0)
+        query = tokens(18, seed=6) % tiny.vocab_size
+        forced = tokens(5, seed=7) % tiny.vocab_size
+        served = server.serve(query, 999, forced_outputs=forced)
+        np.testing.assert_array_equal(served.output_tokens, forced)
+        np.testing.assert_array_equal(
+            served.full_sequence, np.concatenate([query, forced])
+        )
+        follow = np.concatenate([served.full_sequence, tokens(4, seed=8) % tiny.vocab_size])
+        assert server.serve(follow, 1).hit_tokens == len(served.full_sequence)
+
+
+class TestClockInjection:
+    def test_injected_clock_stamps_cache_accesses(self, tiny, tokens):
+        ticks = []
+
+        def clock():
+            ticks.append(len(ticks))
+            return float(len(ticks))
+
+        server = ExactReuseServer(tiny, int(1e9), seed=0, clock=clock)
+        server.serve(tokens(12, seed=9) % tiny.vocab_size, 2)
+        # begin() and commit() each stamp once per request.
+        assert len(ticks) == 2
+        server.serve(tokens(12, seed=10) % tiny.vocab_size, 2)
+        assert len(ticks) == 4
+
+    def test_default_clock_is_private_and_monotone(self, tiny, tokens):
+        a = ExactReuseServer(tiny, int(1e9), seed=0)
+        b = ExactReuseServer(tiny, int(1e9), seed=0)
+        assert a.clock is not b.clock
+        first, second = a.clock(), a.clock()
+        assert second > first
