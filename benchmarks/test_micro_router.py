@@ -9,6 +9,15 @@ conversation sets, routes the same query mix through
 identical, and requires directory routing to be at least 5x cheaper per
 decision at 16 replicas.
 
+Fleet-scale extensions ride the same snapshot: 256- and 512-replica
+fleets routed through the sharded directory backend (deep probing is
+hopeless at that scale — exactly why the backend exists), a flat-cost
+floor requiring the sharded *lookup* to cost about the same at 512
+replicas as at 64 (gated on >= 2 cores, like the other perf floors), and
+a staleness x gossip-budget sweep measuring how much lookup hit rate a
+delayed, throttled directory view gives up against the synchronous
+oracle.
+
 Results are written to ``BENCH_router.json`` at the repo root for
 cross-PR trajectory tracking.  Deliberately fast (seconds); stays in the
 default test lane.
@@ -16,6 +25,7 @@ default test lane.
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 
@@ -23,7 +33,11 @@ import numpy as np
 import pytest
 
 from _bench_io import write_bench
-from repro.cluster import PrefixAffinityRouter
+from repro.cluster import (
+    ManualGossipTransport,
+    PrefixAffinityRouter,
+    ShardedPrefixDirectory,
+)
 from repro.core.cache import MarconiCache
 from repro.models.memory import node_state_bytes
 from repro.models.presets import hybrid_7b
@@ -48,19 +62,42 @@ REPEATS = 3
 # guards against the directory losing its advantage outright.
 SPEEDUP_FLOOR_AT_16 = 2.0
 
+# Fleet-scale (sharded backend) settings: fewer conversations per replica
+# and a capped query sample keep the bench in seconds at 512 replicas.
+SHARDED_FLEET_SIZES = (64, 256, 512)
+BIG_FLEET_CONVERSATIONS = 2
+BIG_FLEET_QUERY_CAP = 192
+N_SHARDS = 8
+REGION_TOKENS = 32
+# The flat-cost floor: one sharded lookup at 512 replicas may cost at
+# most this multiple of the 64-replica cost.  The walk is O(query depth)
+# plus per-node replica maps; 8x more replicas adds map entries, not
+# depth, so anything near-linear in fleet size is a regression.
+LOOKUP_FLAT_RATIO_64_TO_512 = 3.0
+
+# Staleness sweep: 8 replicas under a hand-cranked gossip transport.
+# Queries revisit conversations at ages 1..4 time units, so each delay
+# value wipes out a different share of the lookups (a graded curve, not
+# an all-or-nothing cliff).
+STALENESS_DELAYS = (0.0, 1.5, 3.0)
+STALENESS_BUDGETS = (None, 4)
+STALENESS_REPLICAS = 8
+STALENESS_QUERY_AGES = 4
+
 
 def _toks(rng, n):
     return rng.integers(0, 32000, size=n, dtype=np.int32)
 
 
-def _build_fleet(n_replicas: int):
+def _build_fleet(n_replicas: int, conversations: int = CONVERSATIONS_PER_REPLICA,
+                 query_cap: int | None = None):
     """A fleet in the steady state prefix caching creates: every replica's
     tree shares the deployment's system prompt and few-shot templates
     (so a deep probe must walk that shared spine in *each* tree), and each
     replica additionally holds its own conversations underneath.  Queries
     extend the conversations, plus a sprinkle of cold requests."""
     rng = np.random.default_rng(1000 + n_replicas)
-    capacity = 4 * CONVERSATIONS_PER_REPLICA * node_state_bytes(MODEL, 2600, True)
+    capacity = 4 * conversations * node_state_bytes(MODEL, 2600, True)
     caches = [MarconiCache(MODEL, capacity, alpha=1.0) for _ in range(n_replicas)]
     prompt = _toks(rng, SYSTEM_PROMPT_TOKENS)
     templates = [
@@ -70,7 +107,7 @@ def _build_fleet(n_replicas: int):
     queries = []
     now = 0.0
     for cache in caches:
-        for conv in range(CONVERSATIONS_PER_REPLICA):
+        for conv in range(conversations):
             template = templates[conv % N_TEMPLATES]
             seq = np.concatenate([template, _toks(rng, UNIQUE_TOKENS)])
             with cache.begin(seq, now) as session:
@@ -83,6 +120,8 @@ def _build_fleet(n_replicas: int):
         # does) — the deep probe pays the full spine walk for these too.
         queries.append(np.concatenate([prompt, _toks(rng, UNIQUE_TOKENS)]))
     order = rng.permutation(len(queries))
+    if query_cap is not None:
+        order = order[:query_cap]
     queries = [queries[i] for i in order]
     loads = [int(load) for load in rng.integers(0, 3, size=n_replicas)]
     return caches, queries, loads
@@ -132,6 +171,132 @@ def measurements():
     return out
 
 
+def _sharded_backend():
+    return ShardedPrefixDirectory(n_shards=N_SHARDS, region_tokens=REGION_TOKENS)
+
+
+@pytest.fixture(scope="module")
+def sharded_measurements():
+    """Per-decision and per-lookup cost of the sharded backend at fleet
+    scale.  The directory build (attach + resync of every replica) is
+    untimed — it is a run-start cost, not a per-arrival one."""
+    out = {}
+    for n_replicas in SHARDED_FLEET_SIZES:
+        caches, queries, loads = _build_fleet(
+            n_replicas,
+            conversations=BIG_FLEET_CONVERSATIONS,
+            query_cap=BIG_FLEET_QUERY_CAP,
+        )
+        route_wall, _ = _time_router(
+            lambda: PrefixAffinityRouter(directory_factory=_sharded_backend),
+            caches,
+            queries,
+            loads,
+        )
+        # Isolate the directory walk itself: per-route cost includes the
+        # O(fleet) select scan, which would mask lookup-cost regressions.
+        router = PrefixAffinityRouter(directory_factory=_sharded_backend)
+        router.prepare(MODEL, caches, None)
+        directory = router.directory
+        lookup_walls = []
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            for query in queries:
+                directory.lookup(query, limit=len(query) - 1)
+            lookup_walls.append(time.perf_counter() - start)
+        lookup_wall = min(lookup_walls)
+        router.release()
+        out[n_replicas] = {
+            "n_replicas": n_replicas,
+            "n_queries": len(queries),
+            "n_shards": N_SHARDS,
+            "region_tokens": REGION_TOKENS,
+            "sharded_us_per_route": 1e6 * route_wall / len(queries),
+            "sharded_us_per_lookup": 1e6 * lookup_wall / len(queries),
+        }
+    return out
+
+
+def _staleness_trial(delay: float, budget: int | None):
+    """One sweep point: serve conversations while the clock runs, query
+    each conversation's continuation shortly after serving it, and count
+    how often the sharded view already knows about the prefix.  The
+    synchronous point (delay 0, no budget) is the oracle-equivalent
+    baseline the retention column normalizes against."""
+    rng = np.random.default_rng(4242)
+    caches = [
+        MarconiCache(MODEL, int(1e12), alpha=0.0) for _ in range(STALENESS_REPLICAS)
+    ]
+    if delay == 0.0 and budget is None:
+        directory = ShardedPrefixDirectory(
+            n_shards=N_SHARDS, region_tokens=REGION_TOKENS
+        )
+        transport = None
+    else:
+        directory = ShardedPrefixDirectory(
+            n_shards=N_SHARDS,
+            region_tokens=REGION_TOKENS,
+            propagation_delay=delay,
+            gossip_budget=budget,
+            gossip_interval=0.25,
+        )
+        transport = ManualGossipTransport()
+        directory.connect_transport(transport)
+    for index, cache in enumerate(caches):
+        directory.attach(index, cache)
+    served: list[tuple[int, np.ndarray]] = []
+    hits = total = 0
+    now = 0.0
+    for step in range(48):
+        replica = step % STALENESS_REPLICAS
+        seq = _toks(rng, 600)
+        with caches[replica].begin(seq, now) as session:
+            full = np.concatenate([seq, _toks(rng, 40)])
+            session.commit(full, now + 0.1)
+        served.append((replica, full))
+        now += 1.0
+        if transport is not None:
+            transport.run_until(now)
+        else:
+            directory.advance_to(now)
+        # Revisit the conversation served 1..STALENESS_QUERY_AGES steps
+        # ago: the older the target, the more gossip has landed.
+        target = len(served) - 1 - (step % STALENESS_QUERY_AGES)
+        if target < 0:
+            continue
+        target_replica, target_full = served[target]
+        query = np.concatenate([target_full, _toks(rng, 30)])
+        lookup = directory.lookup(query, limit=len(query) - 1)
+        total += 1
+        if lookup.ckpt_depth.get(target_replica, 0) >= len(target_full):
+            hits += 1
+    snapshot = directory.staleness()
+    directory.close()
+    return {
+        "propagation_delay": delay,
+        "gossip_budget": budget,
+        "lookup_hit_rate": hits / total,
+        "lookup_age_p95": snapshot["lookup_age_p95"],
+        "updates_applied": snapshot["updates_applied"],
+        "updates_pending": snapshot["updates_pending"],
+    }
+
+
+@pytest.fixture(scope="module")
+def staleness_sweep():
+    points = [
+        _staleness_trial(delay, budget)
+        for delay in STALENESS_DELAYS
+        for budget in STALENESS_BUDGETS
+    ]
+    baseline = max(p["lookup_hit_rate"] for p in points)
+    for point in points:
+        point["hit_retention"] = (
+            point["lookup_hit_rate"] / baseline if baseline else 0.0
+        )
+    return points
+
+
 class TestRouterMicrobench:
     def test_decision_cost_scales_with_query_not_fleet(self, measurements):
         """Acceptance bar: clearly cheaper than deep probing at 16
@@ -153,7 +318,56 @@ class TestRouterMicrobench:
             f"from 4 to 64 replicas"
         )
 
-    def test_emit_bench_json(self, measurements):
+    def test_sharded_decisions_match_oracle_directory(self):
+        """At fleet scale the sharded backend must route exactly like the
+        single-process oracle directory (the differential suite's promise,
+        re-checked on the bench workload)."""
+        caches, queries, loads = _build_fleet(
+            256, conversations=BIG_FLEET_CONVERSATIONS, query_cap=64
+        )
+        oracle = PrefixAffinityRouter(probe="directory")
+        sharded = PrefixAffinityRouter(directory_factory=_sharded_backend)
+        for router in (oracle, sharded):
+            router.prepare(MODEL, caches, None)
+        want = _route_all(oracle, caches, queries, loads)
+        got = _route_all(sharded, caches, queries, loads)
+        assert got == want, "sharded backend diverged from the oracle at 256 replicas"
+        for router in (oracle, sharded):
+            router.release()
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="perf floor gated on >= 2 cores (matches the CI perf lane)",
+    )
+    def test_sharded_lookup_cost_flat_64_to_512(self, sharded_measurements):
+        """The fleet-scale floor: a sharded lookup at 512 replicas costs
+        about what it costs at 64 — the walk scales with query depth, not
+        fleet size."""
+        per_lookup_64 = sharded_measurements[64]["sharded_us_per_lookup"]
+        per_lookup_512 = sharded_measurements[512]["sharded_us_per_lookup"]
+        assert per_lookup_512 < LOOKUP_FLAT_RATIO_64_TO_512 * per_lookup_64, (
+            f"sharded per-lookup cost grew {per_lookup_512 / per_lookup_64:.1f}x "
+            f"from 64 to 512 replicas"
+        )
+
+    def test_staleness_trades_hit_rate_monotonically(self, staleness_sweep):
+        """The sweep's sanity contract: the synchronous point retains the
+        full hit rate, and adding delay never gains hits."""
+        by_budget: dict = {}
+        for point in staleness_sweep:
+            by_budget.setdefault(point["gossip_budget"], []).append(point)
+        sync = next(
+            p
+            for p in staleness_sweep
+            if p["propagation_delay"] == 0.0 and p["gossip_budget"] is None
+        )
+        assert sync["hit_retention"] == pytest.approx(1.0)
+        for points in by_budget.values():
+            points.sort(key=lambda p: p["propagation_delay"])
+            for earlier, later in zip(points, points[1:]):
+                assert later["lookup_hit_rate"] <= earlier["lookup_hit_rate"] + 1e-9
+
+    def test_emit_bench_json(self, measurements, sharded_measurements, staleness_sweep):
         """Persist the perf snapshot for cross-PR trajectory tracking."""
         payload = {
             "workload": {
@@ -164,7 +378,12 @@ class TestRouterMicrobench:
                 "model": "hybrid_7b",
             },
             "fleets": {str(n): stats for n, stats in measurements.items()},
+            "sharded_fleets": {
+                str(n): stats for n, stats in sharded_measurements.items()
+            },
+            "staleness_sweep": staleness_sweep,
             "speedup_floor_at_16": SPEEDUP_FLOOR_AT_16,
+            "lookup_flat_ratio_64_to_512": LOOKUP_FLAT_RATIO_64_TO_512,
         }
         write_bench(BENCH_PATH, "router_decision_cost_directory_vs_deep_probe", payload)
         assert BENCH_PATH.exists()

@@ -28,6 +28,7 @@ mis-routed request doesn't just lose part of its KV reuse, it loses the
 from repro.cluster.directory import DirectoryLookup, DirectoryStats, PrefixDirectory
 from repro.cluster.router import (
     DirectoryRouter,
+    HierarchicalRouter,
     LeastLoadedRouter,
     PrefixAffinityRouter,
     RoundRobinRouter,
@@ -35,6 +36,10 @@ from repro.cluster.router import (
     SessionAffinityRouter,
     make_router,
     probe_hit_tokens,
+)
+from repro.cluster.sharded_directory import (
+    ManualGossipTransport,
+    ShardedPrefixDirectory,
 )
 from repro.cluster.simulator import ClusterResult, ClusterSimulator, simulate_cluster
 from repro.engine.steering import RouteDecision, ScenarioEvent, TransferSpec
@@ -46,9 +51,12 @@ __all__ = [
     "SessionAffinityRouter",
     "PrefixAffinityRouter",
     "DirectoryRouter",
+    "HierarchicalRouter",
     "make_router",
     "probe_hit_tokens",
     "PrefixDirectory",
+    "ShardedPrefixDirectory",
+    "ManualGossipTransport",
     "DirectoryLookup",
     "DirectoryStats",
     "RouteDecision",

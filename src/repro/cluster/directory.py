@@ -71,7 +71,13 @@ class _DirNode:
 
 @dataclass
 class DirectoryStats:
-    """Maintenance and staleness counters of one directory instance."""
+    """Maintenance and staleness counters of one directory instance.
+
+    The update-propagation fields (``applied_updates``, ``pending_updates``,
+    ``dropped_updates``) stay zero for the synchronous oracle — every event
+    applies inline — and are populated per shard by
+    :class:`~repro.cluster.sharded_directory.ShardedPrefixDirectory`.
+    """
 
     events: int = 0
     marks: int = 0
@@ -83,6 +89,9 @@ class DirectoryStats:
     n_nodes: int = 0
     untracked_replicas: int = 0
     invalidations: int = 0
+    applied_updates: int = 0
+    pending_updates: int = 0
+    dropped_updates: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -96,6 +105,9 @@ class DirectoryStats:
             "n_nodes": self.n_nodes,
             "untracked_replicas": self.untracked_replicas,
             "invalidations": self.invalidations,
+            "applied_updates": self.applied_updates,
+            "pending_updates": self.pending_updates,
+            "dropped_updates": self.dropped_updates,
         }
 
 
@@ -187,7 +199,11 @@ class PrefixDirectory:
         so the directory must too for decision compatibility.
         """
         if replica in self._views:
-            return replica in self._tracked
+            if self._caches.get(replica) is cache:
+                return replica in self._tracked
+            # Same slot, different cache (a shared directory re-bound to a
+            # rebuilt fleet): drop the stale observer before re-attaching.
+            self.detach(replica)
         view = _ReplicaView(self, replica)
         self._views[replica] = view
         self._caches[replica] = cache

@@ -206,39 +206,73 @@ class PrefixAffinityRouter(Router):
     a rotating tie-break, spreading cold sessions across the cluster.
 
     ``probe`` selects how per-replica hits are measured: ``"directory"``
-    (default) reads the incrementally maintained
+    reads the incrementally maintained
     :class:`~repro.cluster.directory.PrefixDirectory` in one O(query-depth)
     walk; ``"deep"`` is the legacy O(replicas x tree) per-request probe of
-    every replica tree.  The two are decision-identical (property-tested);
+    every replica tree; ``"auto"`` (default) picks per fleet size — deep
+    probing below ``auto_threshold`` replicas (where per-arrival directory
+    maintenance costs more than a handful of tree walks — the small-fleet
+    regression ``BENCH_router.json`` exposed at 4 replicas), the directory
+    at or above it.  All modes are decision-identical (property-tested);
     replicas the directory cannot track (tree-less caches, caches with
     their own ``probe`` method) transparently fall back to the deep probe.
+
+    The directory backend is pluggable: pass ``directory=`` to share one
+    externally owned instance (e.g. a
+    :class:`~repro.cluster.sharded_directory.ShardedPrefixDirectory`)
+    across several routers in a contention experiment — the router
+    attaches replicas but never closes a shared backend — or
+    ``directory_factory=`` to have the router build and own a fresh
+    backend per fleet.  Either forces directory mode under ``"auto"``.
     """
 
     name = "prefix_affinity"
 
-    def __init__(self, max_imbalance: int = 4, probe: str = "directory") -> None:
+    def __init__(
+        self,
+        max_imbalance: int = 4,
+        probe: str = "auto",
+        auto_threshold: int = 8,
+        directory: Optional[Any] = None,
+        directory_factory: Optional[Any] = None,
+    ) -> None:
         if max_imbalance < 0:
             raise ValueError(f"max_imbalance must be non-negative, got {max_imbalance}")
-        if probe not in ("directory", "deep"):
-            raise ValueError(f"probe must be 'directory' or 'deep', got {probe!r}")
+        if probe not in ("auto", "directory", "deep"):
+            raise ValueError(
+                f"probe must be 'auto', 'directory' or 'deep', got {probe!r}"
+            )
+        if auto_threshold < 1:
+            raise ValueError(f"auto_threshold must be >= 1, got {auto_threshold}")
+        if directory is not None and directory_factory is not None:
+            raise ValueError("pass either directory or directory_factory, not both")
+        if probe == "deep" and (directory is not None or directory_factory is not None):
+            raise ValueError("a directory backend is incompatible with probe='deep'")
         self.max_imbalance = max_imbalance
         self.probe_mode = probe
+        self.auto_threshold = auto_threshold
         self._fallback = LeastLoadedRouter()
-        self._directory: Optional[PrefixDirectory] = None
+        self._shared_directory = directory
+        self._directory_factory = directory_factory
+        self._directory: Optional[Any] = None
+        self._owns_directory = False
         self._cache_ids: Optional[list[int]] = None
         self._rules: list[str] = []  # per-replica hit rule, cached at bind
         self._stats: dict[str, int] = {}
 
     # -- directory plumbing --------------------------------------------
     @property
-    def directory(self) -> Optional[PrefixDirectory]:
-        return self._directory
+    def directory(self) -> Optional[Any]:
+        if self._directory is not None:
+            return self._directory
+        return self._shared_directory
 
     @property
     def directory_stats(self) -> Optional[dict]:
-        if self._directory is None:
+        directory = self.directory
+        if directory is None:
             return None
-        return self._directory.staleness()
+        return directory.staleness()
 
     @property
     def decision_stats(self) -> dict[str, int]:
@@ -247,12 +281,20 @@ class PrefixAffinityRouter(Router):
     def _bump(self, key: str) -> None:
         self._stats[key] = self._stats.get(key, 0) + 1
 
+    def _mode(self, n_replicas: int) -> str:
+        """The effective probe mode for a fleet of ``n_replicas``."""
+        if self.probe_mode != "auto":
+            return self.probe_mode
+        if self._shared_directory is not None or self._directory_factory is not None:
+            return "directory"
+        return "directory" if n_replicas >= self.auto_threshold else "deep"
+
     def prepare(self, model, caches, latency) -> None:
         # Run-start hook: rebuild the directory even for an unchanged
         # fleet (a prior run's scenario may have detached failed replicas
         # that this run revives) and start decision counters fresh.
         self._stats = {}
-        if self.probe_mode == "directory":
+        if self._mode(len(caches)) == "directory":
             self._bind(caches, force=True)
 
     def _bind(self, caches: Sequence[Any], force: bool = False) -> None:
@@ -261,9 +303,18 @@ class PrefixAffinityRouter(Router):
         ids = [id(cache) for cache in caches]
         if not force and self._directory is not None and ids == self._cache_ids:
             return
-        if self._directory is not None:
+        if self._owns_directory and self._directory is not None:
             self._directory.close()
-        self._directory = PrefixDirectory()
+        if self._shared_directory is not None:
+            # Shared backend: attach is idempotent (and rebinds a slot
+            # whose cache changed), so several routers can bind the same
+            # fleet to one directory without fighting over it.
+            self._directory = self._shared_directory
+            self._owns_directory = False
+        else:
+            factory = self._directory_factory or PrefixDirectory
+            self._directory = factory()
+            self._owns_directory = True
         self._cache_ids = ids
         self._rules = []
         for index, cache in enumerate(caches):
@@ -302,7 +353,7 @@ class PrefixAffinityRouter(Router):
         lookup: Optional[DirectoryLookup] = None,
     ) -> list[int]:
         """Per-replica hit estimates, decision-identical across modes."""
-        if self.probe_mode == "deep":
+        if self._mode(len(caches)) == "deep":
             return [probe_hit_tokens(cache, tokens) for cache in caches]
         self._bind(caches)
         if lookup is None:
@@ -332,18 +383,22 @@ class PrefixAffinityRouter(Router):
         return best
 
     def route(self, tokens, session_id, caches, loads, now) -> int:
-        tokens = as_token_array(tokens)  # canonicalize once, not per replica
+        if not isinstance(tokens, TokenSeq):
+            tokens = as_token_array(tokens)  # canonicalize once, not per replica
         return self._select(self._hits(tokens, caches), loads)
 
     def release(self) -> None:
-        """Detach the directory's observers from the replica caches so
-        they stop paying maintenance once the run is over; the next
-        route()/prepare() rebuilds (and resyncs) lazily."""
-        if self._directory is not None:
+        """Detach an *owned* directory's observers from the replica caches
+        so they stop paying maintenance once the run is over; the next
+        route()/prepare() rebuilds (and resyncs) lazily.  A shared backend
+        stays attached — other routers may still be reading it; whoever
+        owns it closes it."""
+        if self._owns_directory and self._directory is not None:
             self._directory.close()
-        self._directory = None
-        self._cache_ids = None
-        self._rules = []
+            self._directory = None
+            self._owns_directory = False
+            self._cache_ids = None
+            self._rules = []
 
     def reset(self) -> None:
         self._fallback.reset()
@@ -379,8 +434,15 @@ class DirectoryRouter(PrefixAffinityRouter):
         transfer: bool = True,
         transfer_min_tokens: int = 64,
         migrate: bool = False,
+        directory: Optional[Any] = None,
+        directory_factory: Optional[Any] = None,
     ) -> None:
-        super().__init__(max_imbalance=max_imbalance, probe="directory")
+        super().__init__(
+            max_imbalance=max_imbalance,
+            probe="directory",
+            directory=directory,
+            directory_factory=directory_factory,
+        )
         if transfer_min_tokens < 1:
             raise ValueError(
                 f"transfer_min_tokens must be >= 1, got {transfer_min_tokens}"
@@ -397,7 +459,8 @@ class DirectoryRouter(PrefixAffinityRouter):
         self._latency = latency
 
     def decide(self, tokens, session_id, caches, loads, now) -> RouteDecision:
-        tokens = as_token_array(tokens)
+        if not isinstance(tokens, TokenSeq):
+            tokens = as_token_array(tokens)
         self._bind(caches)
         lookup = self._lookup(tokens)
         hits = self._hits(tokens, caches, lookup=lookup)
@@ -452,12 +515,93 @@ class DirectoryRouter(PrefixAffinityRouter):
         )
 
 
+class HierarchicalRouter(PrefixAffinityRouter):
+    """Two-tier (rack/region) prefix routing for large fleets.
+
+    Replicas are grouped into racks of ``rack_size`` consecutive indices
+    (mid-run joins extend the last rack or open a new one).  Tier 1 picks
+    the rack whose best replica holds the deepest prefix, breaking ties
+    toward the lightest rack; tier 2 applies the usual affinity/spill
+    rule *within* that rack only, so an overloaded preferred replica
+    spills to a rack-mate — which shares top-of-rack bandwidth and warms
+    a nearby cache — instead of scattering the session across the fleet.
+    Cold requests (no cached prefix anywhere) fall back to the global
+    least-loaded pick, seeding racks evenly.
+
+    ``rack_max_imbalance`` bounds the tier-2 spill (defaults to
+    ``max_imbalance``).  Fleets no larger than one rack degrade to plain
+    :class:`PrefixAffinityRouter` behaviour by construction.
+    """
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        rack_size: int = 8,
+        max_imbalance: int = 4,
+        rack_max_imbalance: Optional[int] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(max_imbalance=max_imbalance, **kwargs)
+        if rack_size < 1:
+            raise ValueError(f"rack_size must be >= 1, got {rack_size}")
+        if rack_max_imbalance is None:
+            rack_max_imbalance = max_imbalance
+        if rack_max_imbalance < 0:
+            raise ValueError(
+                f"rack_max_imbalance must be non-negative, got {rack_max_imbalance}"
+            )
+        self.rack_size = rack_size
+        self.rack_max_imbalance = rack_max_imbalance
+        self._rack_rotation = 0
+
+    def rack_of(self, replica: int) -> int:
+        return replica // self.rack_size
+
+    def _select(self, hits: Sequence[int], loads: Sequence[int]) -> int:
+        n = len(hits)
+        size = self.rack_size
+        if n <= size:
+            return super()._select(hits, loads)
+        n_racks = (n + size - 1) // size
+        members = [range(r * size, min((r + 1) * size, n)) for r in range(n_racks)]
+
+        def rack_key(rack: int) -> tuple[int, int, int]:
+            rows = members[rack]
+            return (
+                max(hits[i] for i in rows),
+                -min(loads[i] for i in rows),
+                -rack,
+            )
+
+        rack = max(range(n_racks), key=rack_key)
+        rows = members[rack]
+        best = max(rows, key=lambda i: (hits[i], -loads[i], -i))
+        if hits[best] == 0:
+            self._bump("cold")
+            return self._fallback._pick(loads)
+        floor = min(loads[i] for i in rows)
+        if loads[best] - floor > self.rack_max_imbalance:
+            # Spill stays rack-local: least-loaded rack-mate, rotating ties.
+            self._bump("rack_spilled")
+            pick = pick_least_loaded([loads[i] for i in rows], self._rack_rotation)
+            self._rack_rotation += 1
+            return rows[pick]
+        self._bump("rack_affinity")
+        return best
+
+    def reset(self) -> None:
+        super().reset()
+        self._rack_rotation = 0
+
+
 _ROUTERS = {
     "round_robin": RoundRobinRouter,
     "least_loaded": LeastLoadedRouter,
     "session_affinity": SessionAffinityRouter,
     "prefix_affinity": PrefixAffinityRouter,
     "directory": DirectoryRouter,
+    "hierarchical": HierarchicalRouter,
 }
 
 ROUTER_NAMES: tuple[str, ...] = tuple(sorted(_ROUTERS))

@@ -1,0 +1,728 @@
+"""Sharded prefix directory with bounded staleness for fleet-scale routing.
+
+:class:`~repro.cluster.directory.PrefixDirectory` is a single, perfectly
+synchronous oracle: every replica tree event lands in one index before the
+next routing decision reads it.  That abstraction cannot model — or
+survive — a fleet of hundreds of replicas behind many concurrent routers,
+where directory state is necessarily partitioned and replicated with a
+delay.  :class:`ShardedPrefixDirectory` is the production-shaped variant:
+
+* **Sharding by prefix region.**  The token space is partitioned into
+  regions keyed by the crc32 chain over the first ``region_tokens``
+  tokens — the same per-prefix hash chain :class:`~repro.core.tokens.
+  TokenSeq` interning already maintains, so kernel-driven lookups hash in
+  O(1).  Regions map to shards through a consistent-hash ring (virtual
+  nodes), so shard loss remaps only the dead shard's regions.
+
+* **Exact single-shard lookups.**  Every shard stores the regions it owns
+  at full depth and *every other* region truncated to ``region_tokens``.
+  Any query/entry pair agreeing beyond ``region_tokens`` tokens shares a
+  region by construction (their first ``region_tokens`` tokens are
+  equal), so the owner shard answers deep matches exactly, while matches
+  shorter than ``region_tokens`` are answered exactly from the truncated
+  replicas present on all shards.  With ``propagation_delay=0`` the
+  sharded directory is therefore *lookup- and decision-identical* to the
+  oracle for any shard count — the invariant the differential suite in
+  ``tests/test_sharded_directory.py`` pins.
+
+* **Bounded staleness.**  With ``propagation_delay > 0`` replica tree
+  events are enqueued per shard and applied only once the simulation
+  clock passes ``enqueue_time + propagation_delay``, in batches of at
+  most ``gossip_budget`` updates per flush.  Flushes ride the kernel's
+  virtual clock as ``EventKind.DIRECTORY_SYNC`` events via a pluggable
+  transport (:meth:`ShardedPrefixDirectory.connect_transport`); outside a
+  kernel, :class:`ManualGossipTransport` or :meth:`ShardedPrefixDirectory.
+  pump` drive time by hand.  Stale lookups may report coverage a replica
+  already evicted (routers fall back to recompute; the kernel validates
+  transfer sources) or miss coverage that exists (a cold route, never a
+  correctness issue).
+
+* **Fault injection.**  :meth:`fail_shard` kills a shard: its state is
+  lost, its regions remap across the ring, and anti-entropy resyncs
+  rebuild the remapped regions on the surviving shards after one
+  propagation delay.  :meth:`drop_gossip` discards a shard's next flush
+  batch(es); each drop schedules a recovery resync, so convergence is
+  delayed, never lost.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Any, Optional
+
+import numpy as np
+from zlib import crc32
+
+from repro.core.node import RadixNode
+from repro.core.radix_tree import TreeObserver
+from repro.core.tokens import TokenSeq, canonical_token_array
+from repro.cluster.directory import DirectoryLookup, PrefixDirectory
+
+# Update-op kinds (ints, not an enum: applied in the gossip hot loop).
+_MARK = 0
+_CLEAR_BEYOND = 1
+_TRUNCATE = 2
+_CKPT_SET = 3
+_CKPT_CLEAR = 4
+_INVALIDATE = 5
+_RESYNC = 6
+
+_EMPTY_KEY = crc32(b"")
+
+
+class DirectoryUpdate:
+    """One replica tree event, serialized for gossip.
+
+    ``tokens`` is the full root path the event names (``None`` for
+    replica-wide ops); ``depth`` is the op's depth argument (mark extent,
+    clear keep-depth, checkpoint depth); ``rkey`` is the event's region
+    key (hash of the first ``region_tokens`` path tokens), computed once
+    at ingest; ``snapshot`` carries a resync's ``(path, has_ckpt)`` node
+    list, captured at event time so delayed application replays the state
+    the event saw, not the state at apply time.
+    """
+
+    __slots__ = ("kind", "replica", "tokens", "depth", "rkey", "snapshot")
+
+    def __init__(
+        self,
+        kind: int,
+        replica: int,
+        tokens: Optional[np.ndarray] = None,
+        depth: int = 0,
+        rkey: int = 0,
+        snapshot: Optional[list] = None,
+    ) -> None:
+        self.kind = kind
+        self.replica = replica
+        self.tokens = tokens
+        self.depth = depth
+        self.rkey = rkey
+        self.snapshot = snapshot
+
+
+class _HashRing:
+    """Consistent-hash ring mapping region keys to live shard indices.
+
+    Each shard contributes ``vnodes`` points; removal (shard loss) deletes
+    only that shard's points, so surviving assignments are untouched —
+    the property that keeps recovery traffic proportional to the lost
+    shard's share of the key space.
+    """
+
+    __slots__ = ("_points", "_owners")
+
+    def __init__(self, shards: int, vnodes: int) -> None:
+        pairs: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for v in range(vnodes):
+                pairs.append((crc32(b"shard:%d#%d" % (shard, v)), shard))
+        pairs.sort()
+        self._points = [point for point, _ in pairs]
+        self._owners = [owner for _, owner in pairs]
+
+    def remove(self, shard: int) -> None:
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def lookup(self, key: int) -> Optional[int]:
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, key)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+
+class ManualGossipTransport:
+    """A hand-cranked clock + callback queue for transport-mode tests.
+
+    Mirrors the kernel transport's surface (``now()`` / ``schedule``);
+    :meth:`run_until` advances time and fires scheduled flushes in
+    timestamp order, so staleness behaviour can be exercised without a
+    simulation kernel.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._serial = 0
+        self._queue: list[tuple[float, int, Any]] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, time: float, callback: Any) -> None:
+        self._serial += 1
+        bisect.insort(self._queue, (max(time, self._now), self._serial, callback))
+
+    def run_until(self, time: float) -> None:
+        """Advance to ``time``, firing every callback due on the way."""
+        while self._queue and self._queue[0][0] <= time:
+            due, _, callback = self._queue.pop(0)
+            self._now = max(self._now, due)
+            callback(self._now)
+        self._now = max(self._now, time)
+
+
+class _Shard:
+    """One shard: a bare :class:`PrefixDirectory` as the region store plus
+    its gossip queue and staleness counters."""
+
+    __slots__ = (
+        "index",
+        "directory",
+        "pending",
+        "alive",
+        "flush_scheduled",
+        "drop_armed",
+        "applied",
+        "flushes",
+        "dropped_batches",
+        "dropped_updates",
+        "peak_pending",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.directory = PrefixDirectory()
+        # FIFO of (ready_time, enqueue_time, update); ready times are
+        # monotone because enqueue times are (the clock never reverses).
+        self.pending: deque[tuple[float, float, DirectoryUpdate]] = deque()
+        self.alive = True
+        self.flush_scheduled = False
+        self.drop_armed = 0
+        self.applied = 0
+        self.flushes = 0
+        self.dropped_batches = 0
+        self.dropped_updates = 0
+        self.peak_pending = 0
+
+
+class _ShardedView(TreeObserver):
+    """Per-replica observer bridge: tree events become gossip updates."""
+
+    def __init__(self, directory: "ShardedPrefixDirectory", replica: int) -> None:
+        self.directory = directory
+        self.replica = replica
+
+    def on_node_added(self, node: RadixNode) -> None:
+        tokens = node.path_tokens()
+        self.directory._ingest_path_op(_MARK, self.replica, tokens, len(tokens))
+
+    def on_leaf_removed(self, node: RadixNode, parent: RadixNode) -> None:
+        tokens = np.concatenate([parent.path_tokens(), node.edge_tokens])
+        self.directory._ingest_path_op(
+            _CLEAR_BEYOND, self.replica, tokens, parent.seq_len
+        )
+
+    def on_leaf_truncated(self, node: RadixNode) -> None:
+        tokens = node.path_tokens()
+        self.directory._ingest_path_op(_TRUNCATE, self.replica, tokens, len(tokens))
+
+    def on_checkpoint_changed(self, node: RadixNode) -> None:
+        tokens = node.path_tokens()
+        kind = _CKPT_SET if node.has_ssm_state else _CKPT_CLEAR
+        self.directory._ingest_path_op(kind, self.replica, tokens, node.seq_len)
+
+    # Splits/merges/pins/touches don't change cached content (see the
+    # oracle's bridge for the argument); nothing to gossip.
+    def on_edge_split(self, middle: RadixNode, child: RadixNode) -> None: ...
+
+    def on_merged(self, node: RadixNode, child: RadixNode) -> None: ...
+
+    def on_pin_changed(self, node: RadixNode) -> None: ...
+
+    def on_touched(self, node: RadixNode) -> None: ...
+
+    def on_tree_attached(self, tree: Any) -> None:
+        self.directory._ingest_resync(self.replica, tree)
+
+
+class ShardedPrefixDirectory:
+    """Drop-in :class:`PrefixDirectory` replacement with sharding and
+    bounded staleness (see the module docstring for the model).
+
+    ``propagation_delay=0`` with default gossip settings applies updates
+    synchronously — the conformance mode the differential suite pins
+    against the oracle.  ``gossip_budget`` caps updates applied per flush;
+    ``gossip_interval`` (default: the propagation delay) spaces the
+    flushes a budget-throttled shard retries at.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        region_tokens: int = 32,
+        propagation_delay: float = 0.0,
+        gossip_budget: Optional[int] = None,
+        gossip_interval: Optional[float] = None,
+        vnodes: int = 16,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if region_tokens < 1:
+            raise ValueError(f"region_tokens must be >= 1, got {region_tokens}")
+        if propagation_delay < 0:
+            raise ValueError(
+                f"propagation_delay must be non-negative, got {propagation_delay}"
+            )
+        if gossip_budget is not None and gossip_budget < 1:
+            raise ValueError(f"gossip_budget must be >= 1, got {gossip_budget}")
+        self.n_shards = n_shards
+        self.region_tokens = region_tokens
+        self.propagation_delay = propagation_delay
+        self.gossip_budget = gossip_budget
+        self._synchronous = (
+            propagation_delay == 0 and gossip_budget is None and gossip_interval is None
+        )
+        if gossip_interval is None:
+            gossip_interval = propagation_delay
+        if not self._synchronous and gossip_interval <= 0:
+            raise ValueError(
+                "gossip_interval must be positive when gossip is asynchronous"
+            )
+        self.gossip_interval = gossip_interval
+        self.shards = [_Shard(i) for i in range(n_shards)]
+        self._ring = _HashRing(n_shards, vnodes)
+        self._views: dict[int, _ShardedView] = {}
+        self._caches: dict[int, Any] = {}
+        self._tracked: set[int] = set()
+        self._transport: Optional[Any] = None
+        self._time = 0.0
+        # Aggregate counters (per-shard structural stats live on the
+        # shards' own DirectoryStats).
+        self.events = 0
+        self.lookups = 0
+        self.invalidations = 0
+        self.resyncs = 0
+        self.untracked_replicas = 0
+        self.shard_losses = 0
+        self.updates_enqueued = 0
+        self.updates_dropped = 0
+        self._lookup_ages: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Clock / transport
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        if self._transport is not None:
+            return self._transport.now()
+        return self._time
+
+    def advance_to(self, time: float) -> None:
+        """Move the standalone clock forward (transport-less use only)."""
+        self._time = max(self._time, time)
+
+    def connect_transport(self, transport: Optional[Any]) -> None:
+        """Attach the flush scheduler (kernel event queue or manual).
+
+        Replaces any previous transport: stale flush reservations pointed
+        at the old transport's (now dead) queue, so they are cleared and
+        shards with pending updates reschedule on the new one.
+        """
+        self._transport = transport
+        for shard in self.shards:
+            shard.flush_scheduled = False
+            if transport is not None and shard.alive and shard.pending:
+                self._schedule_flush(shard, shard.pending[0][0])
+
+    def _schedule_flush(self, shard: _Shard, ready: float) -> None:
+        if self._transport is None or shard.flush_scheduled:
+            return
+        shard.flush_scheduled = True
+        when = max(ready, self._now())
+        self._transport.schedule(
+            when, lambda now, shard=shard: self._flush_shard(shard, now)
+        )
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle (the PrefixDirectory protocol)
+    # ------------------------------------------------------------------
+    def attach(self, replica: int, cache: Any) -> bool:
+        """Start tracking ``replica``; False means deep-probe fallback
+        (same contract as the oracle's :meth:`PrefixDirectory.attach`)."""
+        if replica in self._views:
+            if self._caches.get(replica) is cache:
+                return replica in self._tracked
+            self.detach(replica)  # same slot, different cache: rebind
+        view = _ShardedView(self, replica)
+        self._views[replica] = view
+        self._caches[replica] = cache
+        attach = getattr(cache, "add_tree_observer", None)
+        if (
+            callable(getattr(cache, "probe", None))
+            or attach is None
+            or not attach(view)
+        ):
+            self.untracked_replicas += 1
+            return False
+        self._tracked.add(replica)
+        tree = getattr(cache, "tree", None)
+        if tree is not None:
+            self._ingest_resync(replica, tree)
+        return True
+
+    def tracked(self, replica: int) -> bool:
+        return replica in self._tracked
+
+    @property
+    def replicas(self) -> tuple[int, ...]:
+        return tuple(sorted(self._tracked))
+
+    def invalidate(self, replica: int) -> None:
+        """Drop every entry of ``replica`` (failure/removal) — gossiped
+        like any other update, so stale shards keep answering with the
+        dead replica until the invalidation propagates (the race the
+        kernel's dead-target fallbacks absorb)."""
+        self.invalidations += 1
+        self._ingest(DirectoryUpdate(_INVALIDATE, replica))
+
+    def detach(self, replica: int) -> None:
+        view = self._views.pop(replica, None)
+        cache = self._caches.pop(replica, None)
+        if view is not None and cache is not None:
+            remove = getattr(cache, "remove_tree_observer", None)
+            if callable(remove):
+                remove(view)
+        if replica in self._tracked:
+            self._tracked.discard(replica)
+            self.invalidate(replica)
+
+    def close(self) -> None:
+        for replica in list(self._views):
+            self.detach(replica)
+        self.connect_transport(None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _region_key(self, tokens: Any) -> int:
+        k = len(tokens)
+        if k == 0:
+            return _EMPTY_KEY
+        if k > self.region_tokens:
+            k = self.region_tokens
+        if isinstance(tokens, TokenSeq):
+            return tokens.prefix_hash(k)
+        arr = canonical_token_array(tokens)
+        return crc32(arr[:k].tobytes())
+
+    def shard_for(self, tokens: Any) -> Optional[int]:
+        """The live shard owning ``tokens``' region (None: all shards lost)."""
+        return self._ring.lookup(self._region_key(tokens))
+
+    def lookup(self, tokens: Any, limit: Optional[int] = None) -> DirectoryLookup:
+        """Single-shard walk on the region owner (exact at zero delay)."""
+        self.lookups += 1
+        owner = self._ring.lookup(self._region_key(tokens))
+        if owner is None:
+            return DirectoryLookup()
+        shard = self.shards[owner]
+        if shard.pending:
+            self._lookup_ages.append(max(0.0, self._now() - shard.pending[0][1]))
+        else:
+            self._lookup_ages.append(0.0)
+        return shard.directory.lookup(tokens, limit)
+
+    # ------------------------------------------------------------------
+    # Ingest / gossip
+    # ------------------------------------------------------------------
+    def _ingest_path_op(
+        self, kind: int, replica: int, tokens: np.ndarray, depth: int
+    ) -> None:
+        self._ingest(
+            DirectoryUpdate(
+                kind, replica, tokens, depth, rkey=self._region_key(tokens)
+            )
+        )
+
+    def _ingest_resync(self, replica: int, tree: Any) -> None:
+        """Snapshot ``tree`` *now* and gossip it as one resync update."""
+        self.resyncs += 1
+        snapshot: list[tuple[np.ndarray, bool]] = []
+        root = getattr(tree, "root", None)
+        if root is not None:
+            stack: list[tuple[RadixNode, np.ndarray]] = [
+                (child, child.edge_tokens) for child in root.children.values()
+            ]
+            while stack:
+                node, path = stack.pop()
+                snapshot.append((path, bool(node.has_ssm_state)))
+                stack.extend(
+                    (child, np.concatenate([path, child.edge_tokens]))
+                    for child in node.children.values()
+                )
+        self._ingest(DirectoryUpdate(_RESYNC, replica, snapshot=snapshot))
+
+    def _ingest(self, update: DirectoryUpdate) -> None:
+        self.events += 1
+        if self._synchronous:
+            for shard in self.shards:
+                if shard.alive:
+                    self._apply(shard, update)
+                    shard.applied += 1
+            return
+        now = self._now()
+        ready = now + self.propagation_delay
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            self._enqueue(shard, update, now, ready)
+
+    def _enqueue(
+        self, shard: _Shard, update: DirectoryUpdate, now: float, ready: float
+    ) -> None:
+        shard.pending.append((ready, now, update))
+        self.updates_enqueued += 1
+        if len(shard.pending) > shard.peak_pending:
+            shard.peak_pending = len(shard.pending)
+        self._schedule_flush(shard, ready)
+
+    def _flush_shard(self, shard: _Shard, now: float) -> None:
+        """Apply one gossip batch (transport callback)."""
+        shard.flush_scheduled = False
+        if not shard.alive:
+            shard.pending.clear()
+            return
+        if shard.drop_armed > 0:
+            # The batch is lost in transit: discard everything that would
+            # have applied now and schedule an anti-entropy resync.
+            shard.drop_armed -= 1
+            shard.dropped_batches += 1
+            dropped_replicas: set[int] = set()
+            while shard.pending and shard.pending[0][0] <= now:
+                _, _, update = shard.pending.popleft()
+                shard.dropped_updates += 1
+                self.updates_dropped += 1
+                dropped_replicas.add(update.replica)
+            self._recover(shard, dropped_replicas, now)
+        else:
+            shard.flushes += 1
+            budget = self.gossip_budget
+            applied = 0
+            while shard.pending and shard.pending[0][0] <= now:
+                if budget is not None and applied >= budget:
+                    break
+                _, _, update = shard.pending.popleft()
+                self._apply(shard, update)
+                applied += 1
+            shard.applied += applied
+        if shard.pending:
+            head = shard.pending[0][0]
+            self._schedule_flush(shard, head if head > now else now + self.gossip_interval)
+
+    def _recover(self, shard: _Shard, replicas: set[int], now: float) -> None:
+        """Re-announce ``replicas``' full state to ``shard`` (anti-entropy
+        after a dropped batch or a shard loss remap)."""
+        ready = now + self.propagation_delay
+        for replica in sorted(replicas):
+            if replica not in self._tracked:
+                continue
+            tree = getattr(self._caches.get(replica), "tree", None)
+            snapshot: list[tuple[np.ndarray, bool]] = []
+            root = getattr(tree, "root", None)
+            if root is not None:
+                stack = [(child, child.edge_tokens) for child in root.children.values()]
+                while stack:
+                    node, path = stack.pop()
+                    snapshot.append((path, bool(node.has_ssm_state)))
+                    stack.extend(
+                        (child, np.concatenate([path, child.edge_tokens]))
+                        for child in node.children.values()
+                    )
+            update = DirectoryUpdate(_RESYNC, replica, snapshot=snapshot)
+            if self._synchronous:
+                self._apply(shard, update)
+                shard.applied += 1
+            else:
+                self._enqueue(shard, update, now, ready)
+
+    def pump(self, upto: Optional[float] = None) -> int:
+        """Apply every update eligible by ``upto`` (default: now) on every
+        shard, ignoring the gossip budget — the transport-less test hook.
+        Returns the number of updates applied."""
+        if upto is not None:
+            self.advance_to(upto)
+        now = self._now()
+        total = 0
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            while shard.pending and shard.pending[0][0] <= now:
+                _, _, update = shard.pending.popleft()
+                self._apply(shard, update)
+                shard.applied += 1
+                total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Op application (owner-full / foreign-truncated)
+    # ------------------------------------------------------------------
+    def _apply(self, shard: _Shard, update: DirectoryUpdate) -> None:
+        d = shard.directory
+        r = update.replica
+        kind = update.kind
+        if kind == _MARK:
+            upto = update.depth
+            if self._ring.lookup(update.rkey) != shard.index:
+                upto = min(upto, self.region_tokens)
+            if upto > 0:
+                d._mark(r, update.tokens, upto)
+        elif kind == _CLEAR_BEYOND:
+            # The walk self-limits to what the shard stores, so foreign
+            # shards clear exactly their truncated copy.
+            d._clear_beyond(r, update.tokens, update.depth)
+        elif kind == _TRUNCATE:
+            d._truncate(r, update.tokens)
+        elif kind == _CKPT_SET:
+            if (
+                update.depth <= self.region_tokens
+                or self._ring.lookup(update.rkey) == shard.index
+            ):
+                d._set_ckpt(r, update.tokens, update.depth)
+            else:
+                # Foreign shards never store checkpoints past the region
+                # boundary — only the coverage the mark implies.
+                d._mark(r, update.tokens, self.region_tokens)
+        elif kind == _CKPT_CLEAR:
+            if (
+                update.depth <= self.region_tokens
+                or self._ring.lookup(update.rkey) == shard.index
+            ):
+                d._clear_ckpt(r, update.tokens, update.depth)
+        elif kind == _INVALIDATE:
+            d._clear_replica(r)
+            d.stats.invalidations += 1
+        else:  # _RESYNC
+            d._clear_replica(r)
+            d.stats.resyncs += 1
+            region_tokens = self.region_tokens
+            for path, has_ckpt in update.snapshot:
+                depth = len(path)
+                full = (
+                    depth <= region_tokens
+                    or self._ring.lookup(self._region_key(path)) == shard.index
+                )
+                if full:
+                    d._mark(r, path, depth)
+                    if has_ckpt:
+                        d._set_ckpt(r, path, depth)
+                else:
+                    d._mark(r, path, region_tokens)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail_shard(self, index: int) -> None:
+        """Kill shard ``index``: its state and queue are lost, its regions
+        remap across the ring, and the remapped owners rebuild from
+        anti-entropy resyncs after one propagation delay."""
+        if not 0 <= index < self.n_shards:
+            raise ValueError(f"no shard {index} in a {self.n_shards}-shard directory")
+        shard = self.shards[index]
+        if not shard.alive:
+            return
+        shard.alive = False
+        shard.pending.clear()
+        shard.flush_scheduled = False
+        shard.directory = PrefixDirectory()
+        self._ring.remove(index)
+        self.shard_losses += 1
+        now = self._now()
+        for survivor in self.shards:
+            if survivor.alive:
+                self._recover(survivor, set(self._tracked), now)
+
+    def drop_gossip(self, shard: Optional[int] = None, batches: int = 1) -> None:
+        """Arm the next ``batches`` flushes of ``shard`` (or of every
+        shard) to be dropped in transit; recovery resyncs follow."""
+        if batches < 1:
+            raise ValueError(f"batches must be >= 1, got {batches}")
+        targets = self.shards if shard is None else [self.shards[shard]]
+        for s in targets:
+            s.drop_armed += batches
+
+    @property
+    def live_shards(self) -> int:
+        return sum(1 for shard in self.shards if shard.alive)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _age_percentile(self, q: float) -> float:
+        ages = self._lookup_ages
+        if not ages:
+            return 0.0
+        return float(np.percentile(np.asarray(ages), q))
+
+    def staleness(self) -> dict:
+        """Aggregate + per-shard staleness snapshot (exported with cluster
+        results; superset of the oracle's counter names that still apply)."""
+        per_shard = []
+        for shard in self.shards:
+            stats = shard.directory.stats
+            stats.applied_updates = shard.applied
+            stats.pending_updates = len(shard.pending)
+            stats.dropped_updates = shard.dropped_updates
+            entry = stats.to_dict()
+            entry.update(
+                shard=shard.index,
+                alive=shard.alive,
+                flushes=shard.flushes,
+                dropped_batches=shard.dropped_batches,
+                peak_pending=shard.peak_pending,
+            )
+            per_shard.append(entry)
+        return {
+            "backend": "sharded",
+            "n_shards": self.n_shards,
+            "live_shards": self.live_shards,
+            "region_tokens": self.region_tokens,
+            "propagation_delay": self.propagation_delay,
+            "gossip_budget": self.gossip_budget,
+            "gossip_interval": self.gossip_interval,
+            "events": self.events,
+            "lookups": self.lookups,
+            "invalidations": self.invalidations,
+            "resyncs": self.resyncs,
+            "untracked_replicas": self.untracked_replicas,
+            "shard_losses": self.shard_losses,
+            "updates_enqueued": self.updates_enqueued,
+            "updates_applied": sum(shard.applied for shard in self.shards),
+            "updates_pending": sum(len(shard.pending) for shard in self.shards),
+            "updates_dropped": self.updates_dropped,
+            "n_nodes": sum(
+                shard.directory.stats.n_nodes for shard in self.shards if shard.alive
+            ),
+            "lookup_age_p50": self._age_percentile(50),
+            "lookup_age_p95": self._age_percentile(95),
+            "lookup_age_max": max(self._lookup_ages, default=0.0),
+            "per_shard": per_shard,
+        }
+
+    def check_integrity(self) -> None:
+        """Per-shard structural invariants plus the sharding contract:
+        foreign-region checkpoints never exceed the region depth."""
+        for shard in self.shards:
+            if not shard.alive:
+                assert not shard.pending, "dead shard with queued gossip"
+                continue
+            shard.directory.check_integrity()
+            for node in shard.directory.iter_nodes():
+                if node.ckpt and node.end > self.region_tokens:
+                    path = node.parent
+                    tokens: list[np.ndarray] = [node.edge]
+                    while path is not None and path.parent is not None:
+                        tokens.append(path.edge)
+                        path = path.parent
+                    full = np.concatenate(tokens[::-1])
+                    owner = self._ring.lookup(self._region_key(full))
+                    assert owner == shard.index, (
+                        "deep checkpoint stored on a non-owner shard"
+                    )

@@ -126,6 +126,16 @@ class ClusterResult:
             return 0
         return self.steering.counters.get(key, 0)
 
+    @property
+    def directory_staleness(self) -> dict:
+        """Staleness telemetry of the routing directory ({} for content-
+        blind routers or deep-probe runs).  A sharded backend reports
+        per-shard applied/pending update counts, dropped batches, and
+        lookup-age percentiles here (see
+        :meth:`repro.cluster.sharded_directory.ShardedPrefixDirectory.staleness`);
+        the synchronous oracle reports its maintenance counters."""
+        return dict(self.directory_stats) if self.directory_stats else {}
+
     def to_dict(self) -> dict:
         """JSON-ready summary: cluster aggregates, per-replica summaries,
         steering/directory telemetry, and the scenario schedule."""

@@ -53,6 +53,10 @@ class EventKind(enum.IntEnum):
     fail/drain/join) sort after arrivals — a transfer or topology change
     stamped at time ``t`` takes effect only once every request arriving at
     ``t`` has been routed against the pre-change cluster state.
+    ``DIRECTORY_SYNC`` (sharded-directory gossip flushes) sorts last of
+    all: directory updates stamped at ``t`` become visible only after
+    every same-instant arrival has been routed against the stale view —
+    the pessimistic reading of "bounded staleness".
     """
 
     PREFILL_DONE = 0
@@ -60,6 +64,7 @@ class EventKind(enum.IntEnum):
     REQUEST_ARRIVAL = 2
     TRANSFER_DONE = 3
     CONTROL = 4
+    DIRECTORY_SYNC = 5
 
 
 @dataclass(eq=False)

@@ -56,6 +56,7 @@ from repro.engine.latency import LatencyModel
 from repro.engine.request import EngineRequest
 from repro.engine.results import EngineResult, RequestRecord
 from repro.engine.steering import (
+    GossipTransport,
     RouteDecision,
     ScenarioEvent,
     SteeringTelemetry,
@@ -499,6 +500,24 @@ class TokenBatchingScheduler(ReplicaScheduler):
             self._start_iteration(now)
 
 
+class _KernelGossipTransport(GossipTransport):
+    """Directory gossip over the kernel: flushes are ``DIRECTORY_SYNC``
+    events charged on the virtual clock, so propagation delay and gossip
+    cadence are simulated time like everything else."""
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "SimulationKernel") -> None:
+        self._kernel = kernel
+
+    def now(self) -> float:
+        return self._kernel.clock.now
+
+    def schedule(self, time: float, callback: Callable[[float], None]) -> None:
+        kernel = self._kernel
+        kernel.events.push(max(time, kernel.clock.now), EventKind.DIRECTORY_SYNC, callback)
+
+
 SchedulerFactory = Callable[["SimulationKernel", int], ReplicaScheduler]
 
 
@@ -618,6 +637,13 @@ class SimulationKernel:
             prepare = getattr(self.router, "prepare", None)
             if prepare is not None:
                 prepare(self.model, self.caches, self.latency)
+            # A sharded directory propagates through the event queue: hand
+            # it this run's transport (replacing any prior run's, whose
+            # queue is gone) so gossip flushes ride the virtual clock.
+            directory = getattr(self.router, "directory", None)
+            connect = getattr(directory, "connect_transport", None)
+            if connect is not None:
+                connect(_KernelGossipTransport(self))
         for control in self.scenario:
             self.events.push(control.time, EventKind.CONTROL, control)
 
@@ -650,6 +676,7 @@ class SimulationKernel:
         prefill_kind = int(EventKind.PREFILL_DONE)
         complete_kind = int(EventKind.REQUEST_COMPLETE)
         transfer_kind = int(EventKind.TRANSFER_DONE)
+        control_kind = int(EventKind.CONTROL)
         n_events = 0
         while events:
             time, kind, _seq, _serial, payload = pop_entry()
@@ -678,8 +705,10 @@ class SimulationKernel:
                     self._schedule_next_round(payload.request, now)
             elif kind == transfer_kind:
                 self._finish_transfer(payload, now)
-            else:  # CONTROL: scenario topology change
+            elif kind == control_kind:  # scenario topology change
                 self._apply_scenario(payload, now)
+            else:  # DIRECTORY_SYNC: a sharded-directory gossip flush
+                payload(now)
         self._n_events += n_events
 
         for index, cache in enumerate(self.caches):
@@ -745,15 +774,19 @@ class SimulationKernel:
                 transfer = None  # the plan targeted the unroutable replica
                 self.steering.bump("overrides")
         if transfer is not None and self._transfer_feasible(transfer, replica):
-            # Park the request: it enters its replica's queue only once the
-            # state copy lands, so its TTFT carries the transfer wait.
-            self.steering.bump("transfers_planned")
-            self.events.push(
-                now + self.latency.transfer_seconds(transfer.nbytes),
-                EventKind.TRANSFER_DONE,
-                _PendingTransfer(request=request, spec=transfer, started=now),
-            )
-            return
+            if self._source_holds_state(transfer):
+                # Park the request: it enters its replica's queue only once
+                # the state copy lands, so its TTFT carries the transfer wait.
+                self.steering.bump("transfers_planned")
+                self.events.push(
+                    now + self.latency.transfer_seconds(transfer.nbytes),
+                    EventKind.TRANSFER_DONE,
+                    _PendingTransfer(request=request, spec=transfer, started=now),
+                )
+                return
+            # The plan came from a stale directory view: the source no
+            # longer checkpoints the prefix, so recompute locally instead.
+            self.steering.bump("transfers_stale_source")
         self._enqueue(request, replica, now)
 
     def _enqueue(self, request: EngineRequest, replica: int, now: float) -> None:
@@ -779,6 +812,24 @@ class SimulationKernel:
         choice = pick_least_loaded(loads, self._override_rotation)
         self._override_rotation += 1
         return choice
+
+    def _source_holds_state(self, spec: TransferSpec) -> bool:
+        """Does the source replica still checkpoint ``spec.tokens``?
+
+        A synchronous directory plans from live state, so this always
+        holds; a sharded view may claim coverage the source has since
+        evicted (or lost to a failure wipe) — validate before shipping
+        bytes instead of transferring garbage.  Trees are the only state
+        we can inspect; tree-less sources are trusted (legacy behaviour).
+        """
+        tree = getattr(self.caches[spec.source], "tree", None)
+        if tree is None:
+            return True
+        match = tree.match(spec.tokens)
+        if match.matched_len < len(spec.tokens):
+            return False
+        node = match.deepest_ssm_node(max_seq_len=len(spec.tokens))
+        return node is not None and node.seq_len == len(spec.tokens)
 
     def _transfer_feasible(self, spec: TransferSpec, replica: int) -> bool:
         return (

@@ -32,6 +32,27 @@ def pick_least_loaded(loads: Sequence[int], rotation: int) -> int:
     return tied[rotation % len(tied)]
 
 
+class GossipTransport:
+    """The clock/scheduling surface a sharded directory gossips through.
+
+    A transport supplies the virtual time updates are stamped with
+    (:meth:`now`) and executes deferred flush callbacks at a requested
+    time (:meth:`schedule`).  The kernel implements it over its event
+    queue (``EventKind.DIRECTORY_SYNC`` events charged on the virtual
+    clock); :class:`~repro.cluster.sharded_directory.ManualGossipTransport`
+    implements it over a hand-cranked queue for standalone tests.  Like
+    :class:`TransferSpec`, it lives below :mod:`repro.cluster` so the
+    kernel can drive directory propagation without importing the router
+    package.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def schedule(self, time: float, callback: Callable[[float], None]) -> None:
+        raise NotImplementedError
+
+
 @dataclass(frozen=True)
 class TransferSpec:
     """One planned cross-replica state transfer.

@@ -109,6 +109,47 @@ def cluster_summary_to_json(result, path: str | Path) -> None:
     _write_json(cluster_summary_dict(result), path)
 
 
+#: Scalar staleness fields promoted into :func:`directory_staleness_summary`
+#: (the sharded backend's aggregate counters; absent keys are skipped, so
+#: the synchronous oracle's snapshot passes through its own counters).
+_STALENESS_SCALARS = (
+    "backend",
+    "n_shards",
+    "live_shards",
+    "propagation_delay",
+    "gossip_budget",
+    "events",
+    "lookups",
+    "updates_applied",
+    "updates_pending",
+    "updates_dropped",
+    "invalidations",
+    "shard_losses",
+    "lookup_age_p50",
+    "lookup_age_p95",
+    "lookup_age_max",
+)
+
+
+def directory_staleness_summary(result) -> dict:
+    """Compact staleness view of one cluster run (duck-typed on
+    :attr:`repro.cluster.simulator.ClusterResult.directory_staleness`):
+    the scalar aggregate counters plus per-shard ``(applied, pending)``
+    update counts, without the full per-shard maintenance breakdown —
+    the block reports and sweep tables want one row per run."""
+    staleness = getattr(result, "directory_staleness", None)
+    if staleness is None:
+        staleness = result if isinstance(result, dict) else {}
+    summary = {
+        key: staleness[key] for key in _STALENESS_SCALARS if key in staleness
+    }
+    per_shard = staleness.get("per_shard")
+    if per_shard:
+        summary["shard_applied_updates"] = [s["applied_updates"] for s in per_shard]
+        summary["shard_pending_updates"] = [s["pending_updates"] for s in per_shard]
+    return summary
+
+
 cluster_summary_from_json = summary_from_json
 
 

@@ -150,7 +150,8 @@ class TestFailover:
         run's scenario killed, and report per-run decision counters."""
         trace = generate_lmsys_trace(n_sessions=10, seed=39, session_rate=2.0)
         caches = _caches(hybrid, 3)
-        router = PrefixAffinityRouter()
+        # Force directory mode: auto would deep-probe a 3-replica fleet.
+        router = PrefixAffinityRouter(probe="directory")
         first = ClusterSimulator(
             hybrid,
             caches,
@@ -272,7 +273,8 @@ class TestFailover:
     def test_directory_invalidated_on_failure(self, hybrid):
         trace = generate_lmsys_trace(n_sessions=10, seed=35, session_rate=2.0)
         caches = _caches(hybrid, 2)
-        router = PrefixAffinityRouter()
+        # Force directory mode: auto would deep-probe a 2-replica fleet.
+        router = PrefixAffinityRouter(probe="directory")
         result = simulate_cluster(
             hybrid,
             caches,
@@ -340,6 +342,94 @@ class TestDrainAndJoin:
         assert result.n_replicas == 3
         assert result.routed_counts[2] > 0
         assert _served_rounds(result) == _expected_rounds(trace)
+
+
+class TestShardedScenarioEdges:
+    """Elastic scenarios against a sharded, delayed directory view: joins
+    land while updates are still in flight, drains overlap pending
+    invalidations, and the serving path absorbs the staleness."""
+
+    def _backend(self, **kwargs):
+        from repro.cluster import ShardedPrefixDirectory
+
+        defaults = dict(
+            n_shards=3, region_tokens=8, propagation_delay=0.2, gossip_interval=0.1
+        )
+        defaults.update(kwargs)
+        return ShardedPrefixDirectory(**defaults)
+
+    def test_join_while_updates_in_flight(self, hybrid):
+        backend = self._backend()
+        trace = generate_lmsys_trace(n_sessions=16, seed=64, session_rate=4.0)
+        caches = _caches(hybrid, 2)
+        spare = _caches(hybrid, 1)[0]
+        result = simulate_cluster(
+            hybrid,
+            caches,
+            PrefixAffinityRouter(directory=backend),
+            trace,
+            # Joins right as the first arrivals' gossip is still queued.
+            scenario=[ScenarioEvent(0.3, "join", cache_factory=lambda: spare)],
+        )
+        assert result.n_replicas == 3
+        assert result.steering_counter("joins") == 1
+        assert result.routed_counts[2] > 0
+        assert _served_rounds(result) == _expected_rounds(trace)
+        _assert_no_leaks(caches + [spare])
+        # The joiner is tracked by the shared sharded view.
+        assert backend.replicas == (0, 1, 2)
+        backend.pump(upto=1e9)
+        backend.check_integrity()
+        backend.close()
+
+    def test_drain_with_pending_invalidations(self, hybrid):
+        """A replica fails (its invalidation gossips slowly) and another
+        drains while that invalidation is still pending: every round is
+        still served, and the dead replica's entries eventually vanish
+        from every shard."""
+        backend = self._backend(propagation_delay=0.6, gossip_interval=0.3)
+        trace = generate_lmsys_trace(n_sessions=16, seed=65, session_rate=4.0)
+        caches = _caches(hybrid, 3)
+        result = simulate_cluster(
+            hybrid,
+            caches,
+            PrefixAffinityRouter(directory=backend),
+            trace,
+            scenario=[
+                ScenarioEvent(2.0, "fail", replica=0),
+                ScenarioEvent(2.3, "drain", replica=1),  # inside the window
+            ],
+        )
+        assert result.steering_counter("failures") == 1
+        assert result.steering_counter("drains") == 1
+        assert _served_rounds(result) == _expected_rounds(trace)
+        _assert_no_leaks(caches)
+        assert result.directory_staleness["invalidations"] >= 1
+        backend.pump(upto=1e9)
+        for shard in backend.shards:
+            for node in shard.directory.iter_nodes():
+                assert 0 not in node.cover and 0 not in node.ckpt
+        backend.check_integrity()
+        backend.close()
+
+    def test_sharded_staleness_exported_with_cluster_result(self, hybrid):
+        from repro.metrics.export import directory_staleness_summary
+
+        backend = self._backend()
+        trace = generate_lmsys_trace(n_sessions=8, seed=66, session_rate=2.0)
+        result = simulate_cluster(
+            hybrid, _caches(hybrid, 2), PrefixAffinityRouter(directory=backend), trace
+        )
+        d = result.to_dict()
+        assert d["directory"]["backend"] == "sharded"
+        assert len(d["directory"]["per_shard"]) == 3
+        json.dumps(d)  # staleness telemetry must be JSON-clean
+        summary = directory_staleness_summary(result)
+        assert summary["backend"] == "sharded"
+        assert summary["n_shards"] == 3
+        assert len(summary["shard_applied_updates"]) == 3
+        assert "lookup_age_p95" in summary
+        backend.close()
 
 
 class TestTransfers:

@@ -1,8 +1,14 @@
-"""Adversarial and edge-case streams aimed at breaking cache mechanics."""
+"""Adversarial and edge-case streams aimed at breaking cache mechanics,
+plus directory-shard fault injection under full cluster runs."""
 
 import numpy as np
 import pytest
 
+from repro.cluster import (
+    PrefixAffinityRouter,
+    ShardedPrefixDirectory,
+    simulate_cluster,
+)
 from repro.core.cache import MarconiCache
 from repro.models.memory import (
     kv_bytes_per_token,
@@ -10,6 +16,7 @@ from repro.models.memory import (
     node_state_bytes,
 )
 from repro.tiering import TieredMarconiCache
+from repro.workloads.lmsys import generate_lmsys_trace
 
 
 def toks(n, seed):
@@ -183,6 +190,134 @@ class TestCapacityEdges:
         assert cache.secondary.n_entries == 0
         assert cache.stats.extra.get("demotions_rejected", 0) > 0
         assert cache.used_bytes == cache.recompute_used_bytes()
+
+
+def _fleet(model, n, seqs=8):
+    per_seq = node_state_bytes(model, 2000, True)
+    return [MarconiCache(model, seqs * per_seq, alpha=1.0) for _ in range(n)]
+
+
+def _expected_rounds(trace):
+    return {
+        (session.session_id, r)
+        for session in trace.sessions
+        for r in range(session.n_rounds)
+    }
+
+
+def _served_rounds(result):
+    return {
+        (rec.session_id, rec.round_index)
+        for replica in result.replica_results
+        for rec in replica.records
+    }
+
+
+def _assert_no_leaks(caches):
+    for cache in caches:
+        assert cache.open_sessions == 0
+        assert all(node.pin_count == 0 for node in cache.tree.iter_nodes())
+        assert cache.used_bytes == cache.recompute_used_bytes()
+
+
+class _ShardFailingDirectory(ShardedPrefixDirectory):
+    """Sharded backend that kills one of its own shards mid-run, by
+    scheduling the loss on whatever transport the kernel connects."""
+
+    def __init__(self, *args, fail_at=2.0, fail_index=0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._fail_at = fail_at
+        self._fail_index = fail_index
+
+    def connect_transport(self, transport):
+        super().connect_transport(transport)
+        if transport is not None:
+            transport.schedule(
+                self._fail_at, lambda now: self.fail_shard(self._fail_index)
+            )
+
+
+class TestDirectoryShardFaults:
+    """Shard loss and dropped gossip injected into full cluster runs: the
+    routing view degrades, the serving path must not."""
+
+    def test_shard_loss_mid_run_serves_every_round(self, hybrid):
+        backend = _ShardFailingDirectory(
+            n_shards=4,
+            region_tokens=8,
+            propagation_delay=0.05,
+            gossip_interval=0.05,
+            fail_at=2.0,
+            fail_index=1,
+        )
+        trace = generate_lmsys_trace(n_sessions=14, seed=61, session_rate=2.0)
+        caches = _fleet(hybrid, 3)
+        result = simulate_cluster(
+            hybrid, caches, PrefixAffinityRouter(directory=backend), trace
+        )
+        assert _served_rounds(result) == _expected_rounds(trace)
+        assert result.n_requests == trace.n_requests
+        _assert_no_leaks(caches)
+        staleness = result.directory_staleness
+        assert staleness["backend"] == "sharded"
+        assert staleness["shard_losses"] == 1
+        assert staleness["live_shards"] == 3
+        backend.pump(upto=1e9)  # drain any tail gossip, then audit
+        backend.check_integrity()
+        backend.close()
+
+    def test_dropped_gossip_mid_run_serves_every_round(self, hybrid):
+        backend = ShardedPrefixDirectory(
+            n_shards=3, region_tokens=8, propagation_delay=0.05, gossip_interval=0.05
+        )
+        backend.drop_gossip(batches=2)  # every shard loses its first flushes
+        trace = generate_lmsys_trace(n_sessions=14, seed=62, session_rate=2.0)
+        caches = _fleet(hybrid, 3)
+        result = simulate_cluster(
+            hybrid, caches, PrefixAffinityRouter(directory=backend), trace
+        )
+        assert _served_rounds(result) == _expected_rounds(trace)
+        _assert_no_leaks(caches)
+        staleness = result.directory_staleness
+        assert staleness["updates_dropped"] > 0
+        assert sum(
+            entry["dropped_batches"] for entry in staleness["per_shard"]
+        ) == 6
+        backend.pump(upto=1e9)
+        backend.check_integrity()
+        backend.close()
+
+    def test_stale_lookups_tolerated_during_replica_failure(self, hybrid):
+        """Replica failure with slow gossip: shards answer with the dead
+        replica during the staleness window (the kernel's dead-target
+        fallback absorbs it), and the invalidation eventually lands."""
+        from repro.cluster import ScenarioEvent
+
+        backend = ShardedPrefixDirectory(
+            n_shards=2, region_tokens=8, propagation_delay=0.5, gossip_interval=0.25
+        )
+        trace = generate_lmsys_trace(n_sessions=14, seed=63, session_rate=4.0)
+        caches = _fleet(hybrid, 3)
+        result = simulate_cluster(
+            hybrid,
+            caches,
+            PrefixAffinityRouter(directory=backend),
+            trace,
+            scenario=[ScenarioEvent(2.0, "fail", replica=1)],
+        )
+        assert _served_rounds(result) == _expected_rounds(trace)
+        assert result.n_requests == trace.n_requests
+        _assert_no_leaks(caches)
+        assert result.directory_staleness["invalidations"] >= 1
+        # Eventual consistency: once the queues drain, no shard still
+        # stores the dead replica.
+        backend.pump(upto=1e9)
+        probe = np.ones(16, dtype=np.int32)
+        assert 1 not in backend.lookup(probe, limit=16).ckpt_depth
+        for shard in backend.shards:
+            for node in shard.directory.iter_nodes():
+                assert 1 not in node.cover and 1 not in node.ckpt
+        backend.close()
 
 
 class TestTunerUnderChurn:
