@@ -27,6 +27,7 @@ _FAST_MODULES = {
     "test_micro_kernel.py",
     "test_micro_router.py",
     "test_micro_session.py",
+    "test_micro_steering.py",
     "test_micro_sweep.py",
 }
 _BENCH_DIR = Path(__file__).resolve().parent

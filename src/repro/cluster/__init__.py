@@ -42,7 +42,13 @@ from repro.cluster.sharded_directory import (
     ShardedPrefixDirectory,
 )
 from repro.cluster.simulator import ClusterResult, ClusterSimulator, simulate_cluster
-from repro.engine.steering import RouteDecision, ScenarioEvent, TransferSpec
+from repro.engine.steering import (
+    NoRoutableReplicaError,
+    RouteDecision,
+    ScenarioEvent,
+    SplitSpec,
+    TransferSpec,
+)
 
 __all__ = [
     "Router",
@@ -59,8 +65,10 @@ __all__ = [
     "ManualGossipTransport",
     "DirectoryLookup",
     "DirectoryStats",
+    "NoRoutableReplicaError",
     "RouteDecision",
     "TransferSpec",
+    "SplitSpec",
     "ScenarioEvent",
     "ClusterSimulator",
     "ClusterResult",

@@ -124,6 +124,11 @@ class DirectoryLookup:
 
     kv_matched: dict[int, int] = field(default_factory=dict)
     ckpt_depth: dict[int, int] = field(default_factory=dict)
+    #: Every checkpointed prefix depth of the query each replica holds
+    #: (ascending, capped by the walk's ``limit``); ``ckpt_depth[r]`` is
+    #: always ``ckpt_depths[r][-1]``.  Split-point steering picks its
+    #: candidate split depths from this list.
+    ckpt_depths: dict[int, list[int]] = field(default_factory=dict)
 
 
 class _ReplicaView(TreeObserver):
@@ -284,6 +289,11 @@ class PrefixDirectory:
             if child.ckpt and pos <= limit:
                 for r in child.ckpt:
                     out.ckpt_depth[r] = pos
+                    depths = out.ckpt_depths.get(r)
+                    if depths is None:
+                        out.ckpt_depths[r] = [pos]
+                    else:
+                        depths.append(pos)
             node = child
         return out
 
@@ -346,6 +356,18 @@ class PrefixDirectory:
         child.cover = new_cover
         self.stats.splits += 1
         self.stats.n_nodes += 1
+        if child.is_empty:
+            # Every cover entry ended at or before the split point, and the
+            # child carries no checkpoint (checkpoints imply full coverage)
+            # and no children: the deep half is dead weight.  Drop it here —
+            # no caller revisits it, so it would otherwise leak as an
+            # unpruned empty node.  ``middle`` inherited at least one cover
+            # entry in this case (the child's cover was non-empty pre-split),
+            # so it never needs the ancestor-walking prune.
+            del middle.children[int(child.edge[0])]
+            child.parent = None
+            self.stats.pruned_nodes += 1
+            self.stats.n_nodes -= 1
         return middle
 
     def _prune(self, node: Optional[_DirNode]) -> None:

@@ -30,7 +30,13 @@ import numpy as np
 from repro.core.interfaces import as_token_array
 from repro.core.tokens import TokenSeq
 from repro.cluster.directory import DirectoryLookup, PrefixDirectory
-from repro.engine.steering import RouteDecision, TransferSpec, pick_least_loaded
+from repro.engine.steering import (
+    RouteDecision,
+    SplitSpec,
+    TransferSpec,
+    pick_least_loaded,
+    plan_split,
+)
 
 _U64_MASK = (1 << 64) - 1
 
@@ -421,6 +427,15 @@ class DirectoryRouter(PrefixAffinityRouter):
     events that land in the target's second-tier store, from which the
     existing tiering promotion path serves the request.
 
+    With ``split=True`` (the default) the compute-or-load rule generalizes
+    to **compute-or-load-or-both**: every checkpoint depth the source holds
+    on the query path (``DirectoryLookup.ckpt_depths``) is a candidate
+    split point, priced as the head transfer overlapped with the tail
+    recompute (:func:`repro.engine.steering.plan_split`); an interior
+    split is planned only when its estimate strictly beats both
+    all-or-nothing endpoints, so ``split=False`` reproduces the legacy
+    (PR-4) decisions byte-identically.
+
     ``transfer_min_tokens`` suppresses transfers for spans too short to
     matter; ``migrate=True`` moves (rather than copies) second-tier
     entries off the source.
@@ -434,6 +449,7 @@ class DirectoryRouter(PrefixAffinityRouter):
         transfer: bool = True,
         transfer_min_tokens: int = 64,
         migrate: bool = False,
+        split: bool = True,
         directory: Optional[Any] = None,
         directory_factory: Optional[Any] = None,
     ) -> None:
@@ -450,6 +466,7 @@ class DirectoryRouter(PrefixAffinityRouter):
         self.transfer_enabled = transfer
         self.transfer_min_tokens = transfer_min_tokens
         self.migrate = migrate
+        self.split_enabled = split
         self._model: Any = None
         self._latency: Any = None
 
@@ -490,28 +507,38 @@ class DirectoryRouter(PrefixAffinityRouter):
                 source, depth = replica, ckpt_depth
         if source < 0 or depth - local < self.transfer_min_tokens:
             return None
-        from repro.models.flops import model_suffix_prefill_flops
-        from repro.models.memory import kv_bytes, model_recurrent_bytes
-
-        nbytes = kv_bytes(model, depth) + model_recurrent_bytes(model)
-        load_seconds = (
-            latency.transfer_seconds(nbytes)
-            + nbytes / latency.secondary_fetch_bandwidth_bytes_per_s
+        plan = plan_split(
+            model,
+            latency,
+            len(tokens),
+            local,
+            lookup.ckpt_depths.get(source, (depth,)),
+            min_tokens=self.transfer_min_tokens,
+            allow_split=self.split_enabled,
         )
-        saved_flops = model_suffix_prefill_flops(
-            model, len(tokens), local
-        ) - model_suffix_prefill_flops(model, len(tokens), depth)
-        recompute_seconds = saved_flops / latency.effective_flops_per_s
-        if load_seconds >= recompute_seconds:
+        if plan is None or plan.mode == "recompute":
             self._bump("chose_recompute")
             return None
-        self._bump("chose_load")
-        return TransferSpec(
+        if plan.mode == "load":
+            self._bump("chose_load")
+            return TransferSpec(
+                source=source,
+                target=target,
+                tokens=tokens[:depth].copy(),
+                nbytes=int(plan.nbytes),
+                migrate=self.migrate,
+            )
+        self._bump("chose_split")
+        return SplitSpec(
             source=source,
             target=target,
-            tokens=tokens[:depth].copy(),
-            nbytes=int(nbytes),
+            tokens=tokens[: plan.depth].copy(),
+            nbytes=int(plan.nbytes),
             migrate=self.migrate,
+            split_depth=plan.depth,
+            total_len=len(tokens),
+            tail_flops=plan.tail_flops,
+            head_flops=plan.head_flops,
         )
 
 

@@ -127,6 +127,11 @@ class ClusterResult:
         return self.steering.counters.get(key, 0)
 
     @property
+    def overlap_seconds_saved(self) -> float:
+        """TTFT seconds saved by split-point transfer/prefill overlap."""
+        return self.steering.overlap_seconds_saved if self.steering else 0.0
+
+    @property
     def directory_staleness(self) -> dict:
         """Staleness telemetry of the routing directory ({} for content-
         blind routers or deep-probe runs).  A sharded backend reports

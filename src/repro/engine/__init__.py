@@ -36,10 +36,14 @@ from repro.engine.request import EngineRequest
 from repro.engine.results import EngineResult, RequestRecord, step_time_weighted_mean
 from repro.engine.server import ServingSimulator, simulate_trace
 from repro.engine.steering import (
+    NoRoutableReplicaError,
     RouteDecision,
     ScenarioEvent,
+    SplitPlan,
+    SplitSpec,
     SteeringTelemetry,
     TransferSpec,
+    plan_split,
 )
 
 __all__ = [
@@ -64,8 +68,12 @@ __all__ = [
     "step_time_weighted_mean",
     "ServingSimulator",
     "simulate_trace",
+    "NoRoutableReplicaError",
     "RouteDecision",
     "TransferSpec",
+    "SplitPlan",
+    "SplitSpec",
+    "plan_split",
     "ScenarioEvent",
     "SteeringTelemetry",
 ]

@@ -57,8 +57,10 @@ from repro.engine.request import EngineRequest
 from repro.engine.results import EngineResult, RequestRecord
 from repro.engine.steering import (
     GossipTransport,
+    NoRoutableReplicaError,
     RouteDecision,
     ScenarioEvent,
+    SplitSpec,
     SteeringTelemetry,
     TransferSpec,
     pick_least_loaded,
@@ -133,11 +135,20 @@ class _InFlight:
 
 @dataclass(slots=True)
 class _PendingTransfer:
-    """A parked request waiting for its cross-replica state transfer."""
+    """One in-flight cross-replica state transfer.
+
+    For a plain :class:`TransferSpec` the request is parked until the
+    bytes land (``split=False``).  For a :class:`SplitSpec` executed with
+    overlap (``split=True``) the request is enqueued immediately — the
+    ``TRANSFER_DONE`` event only lands the head bytes, and the scheduler
+    charges the overlapped prefill from ``done`` when service starts.
+    """
 
     request: EngineRequest
     spec: TransferSpec
     started: float
+    done: float = 0.0
+    split: bool = False
 
 
 @dataclass(slots=True)
@@ -284,6 +295,12 @@ class ContinuousBatchingScheduler(ReplicaScheduler):
             ],
         )
         for request, session, prefill_seconds in zip(batch, sessions, prefill_times):
+            if kernel._pending_splits:
+                pending = kernel._pending_splits.pop(id(request), None)
+                if pending is not None:
+                    prefill_seconds = kernel._split_prefill_seconds(
+                        pending, session, now, prefill_seconds
+                    )
             if self._track_active:  # scenario runs: failover needs the registry
                 # [replica, request, session, prefill_done]
                 kernel._active_sessions[id(session)] = [
@@ -617,6 +634,12 @@ class SimulationKernel:
         self._active_sessions: dict[int, list] = {}
         self._interrupted_requests: set[int] = set()
         self._override_rotation = 0
+        # Transfer-link pricing: each source's outbound link serializes its
+        # transfers (concurrent copies queue, they don't multiply bandwidth).
+        self._link_free_at: dict[int, float] = {}
+        # Split transfers whose request runs ahead of the landing bytes,
+        # keyed by id(request); popped when service starts (or on failover).
+        self._pending_splits: dict[int, _PendingTransfer] = {}
         # Results must exist before the factories run: schedulers may bind
         # their replica's record list for the hot path.
         self.schedulers = [self._scheduler_factory(self, i) for i in range(n)]
@@ -711,6 +734,13 @@ class SimulationKernel:
                 payload(now)
         self._n_events += n_events
 
+        if self._link_free_at:
+            # Any transfer activity: audit the link ledger (catches a
+            # reintroduction of parallel full-bandwidth pricing at run end,
+            # where it costs one O(replicas) pass instead of per-event work).
+            self.steering.check_conservation(
+                self.latency.transfer_bandwidth_bytes_per_s
+            )
         for index, cache in enumerate(self.caches):
             if hasattr(cache, "stats"):
                 self.results[index].cache_stats = cache.stats.snapshot()
@@ -775,19 +805,52 @@ class SimulationKernel:
                 self.steering.bump("overrides")
         if transfer is not None and self._transfer_feasible(transfer, replica):
             if self._source_holds_state(transfer):
-                # Park the request: it enters its replica's queue only once
-                # the state copy lands, so its TTFT carries the transfer wait.
                 self.steering.bump("transfers_planned")
-                self.events.push(
-                    now + self.latency.transfer_seconds(transfer.nbytes),
-                    EventKind.TRANSFER_DONE,
-                    _PendingTransfer(request=request, spec=transfer, started=now),
+                done = self._charge_transfer(transfer, now)
+                split = isinstance(transfer, SplitSpec) and isinstance(
+                    self.schedulers[replica], ContinuousBatchingScheduler
                 )
+                pending = _PendingTransfer(
+                    request=request,
+                    spec=transfer,
+                    started=now,
+                    done=done,
+                    split=split,
+                )
+                self.events.push(done, EventKind.TRANSFER_DONE, pending)
+                if split:
+                    # Split-point overlap: the request starts its tail
+                    # recompute immediately while the head transfer is in
+                    # flight; the scheduler prices the overlap at service
+                    # start and the TRANSFER_DONE event just lands bytes.
+                    # (A SplitSpec landing on a scheduler without overlap
+                    # support degrades to the parked all-or-nothing path.)
+                    self.steering.bump("transfers_split")
+                    self._pending_splits[id(request)] = pending
+                    self._enqueue(request, replica, now)
                 return
             # The plan came from a stale directory view: the source no
             # longer checkpoints the prefix, so recompute locally instead.
             self.steering.bump("transfers_stale_source")
         self._enqueue(request, replica, now)
+
+    def _charge_transfer(self, spec: TransferSpec, now: float) -> float:
+        """Completion time of ``spec`` under serialized source-link pricing.
+
+        Each source replica owns one outbound transfer link: a new copy
+        starts when the link frees up, never sooner, so N concurrent
+        transfers from one source share the link back-to-back instead of
+        each enjoying the full ``transfer_bandwidth_bytes_per_s`` (the
+        N× aggregate-bandwidth bug).  :meth:`SteeringTelemetry.record_link`
+        keeps the busy/wait ledger the conservation check audits.
+        """
+        free_at = self._link_free_at.get(spec.source, 0.0)
+        start = free_at if free_at > now else now
+        duration = self.latency.transfer_seconds(spec.nbytes)
+        done = start + duration
+        self._link_free_at[spec.source] = done
+        self.steering.record_link(spec.source, duration, start - now)
+        return done
 
     def _enqueue(self, request: EngineRequest, replica: int, now: float) -> None:
         self.routed_counts[replica] += 1
@@ -807,8 +870,17 @@ class SimulationKernel:
             (s.queue_depth + s.n_running) if self._routable(i) else DEAD_LOAD
             for i, s in enumerate(self.schedulers)
         ]
-        if min(loads) >= DEAD_LOAD:
-            raise RuntimeError("no routable replicas remain in the cluster")
+        if not loads or min(loads) >= DEAD_LOAD:
+            n_failed = self.alive.count(False)
+            n_draining = sum(
+                1 for i, d in enumerate(self.draining) if d and self.alive[i]
+            )
+            raise NoRoutableReplicaError(
+                f"no routable replicas remain in the cluster: of "
+                f"{len(self.caches)} replicas, {n_failed} failed and "
+                f"{n_draining} draining — add capacity (a 'join' scenario "
+                f"event) or stop failing/draining the last replica"
+            )
         choice = pick_least_loaded(loads, self._override_rotation)
         self._override_rotation += 1
         return choice
@@ -840,9 +912,90 @@ class SimulationKernel:
             and hasattr(self.caches[replica], "receive_state_transfer")
         )
 
+    def _split_prefill_seconds(
+        self,
+        pending: _PendingTransfer,
+        session: Any,
+        now: float,
+        base: float,
+    ) -> float:
+        """Overlapped prefill charge of a split-steered request.
+
+        Called by the scheduler when the request's service starts.  The
+        two halves run concurrently — the head transfer (whatever of it
+        is still in flight, plus the secondary fetch once it lands) and
+        the tail recompute — so completion is priced as::
+
+            overhead + max(transfer_remaining + head_fetch, tail_compute)
+            + split_merge
+
+        ``base`` is what the request would pay serving purely from local
+        state; the cheaper of the two is charged (the plan was made from
+        a pre-queue estimate, so local state may meanwhile have grown past
+        the shipped head, or the overlap may simply not pay off at actual
+        service time).  The session's recorded ``hit_tokens``/
+        ``reused_bytes`` keep reporting local-cache truth — the split's
+        benefit shows up in TTFT and in the overlap telemetry, not as a
+        synthetic cache hit.
+        """
+        spec = pending.spec
+        steering = self.steering
+        if now >= pending.done:
+            # The head landed while the request was still queued: begin()
+            # already promoted the shipped state through the tiering path
+            # and ``base`` priced its secondary fetch — the transfer hid
+            # entirely behind queue wait.
+            steering.bump("splits_hidden")
+            return base
+        if session.hit_tokens >= spec.split_depth:
+            # Local state grew at least as deep as the shipped head while
+            # the request queued: the transfer buys nothing extra.
+            steering.bump("splits_ignored")
+            return base
+        latency = self.latency
+        load_arm = (pending.done - now) + spec.nbytes / (
+            latency.secondary_fetch_bandwidth_bytes_per_s
+        )
+        tail_arm = spec.tail_flops / latency.effective_flops_per_s
+        overlapped = (
+            latency.prefill_overhead_s + max(load_arm, tail_arm)
+            + latency.split_merge_s
+        )
+        if overlapped >= base:
+            steering.bump("splits_ignored")
+            return base
+        steering.bump("splits_overlapped")
+        steering.overlap_seconds_saved += base - overlapped
+        return overlapped
+
     def _finish_transfer(self, pending: _PendingTransfer, now: float) -> None:
         spec = pending.spec
         target = spec.target
+        if pending.split:
+            # The request was never parked: it is already queued (or being
+            # served) on the target, so this event only lands the head
+            # bytes.  A *draining* target still finishes its queue and
+            # must receive them; only a dead target drops the copy.
+            if not self.alive[target]:
+                self.steering.bump("transfers_dropped")
+                return
+            accepted = self.caches[target].receive_state_transfer(
+                spec.tokens, spec.nbytes, now
+            )
+            if accepted:
+                self.steering.record_transfer(
+                    spec.source, target, spec.nbytes, now - pending.started
+                )
+                if spec.migrate and self.alive[spec.source]:
+                    secondary = getattr(self.caches[spec.source], "secondary", None)
+                    if (
+                        secondary is not None
+                        and secondary.remove(spec.tokens) is not None
+                    ):
+                        self.steering.bump("migrations")
+            else:
+                self.steering.bump("transfers_rejected")
+            return
         if not self._routable(target):
             # The target died or drained while the bytes were in flight:
             # drop the copy and route the parked request afresh.
@@ -929,6 +1082,10 @@ class SimulationKernel:
         # Orphans keep their original arrival times, so the TTFT of a
         # re-routed request includes everything the failure cost it.
         for request in sorted(orphans, key=lambda r: r.arrival_time):
+            # A queued split request loses its in-flight head with the
+            # replica: forget the overlap plan before re-admitting (the
+            # stale TRANSFER_DONE event finds its target dead and drops).
+            self._pending_splits.pop(id(request), None)
             self.steering.bump("reroutes")
             self._admit(request, now)
         for request in interrupted:

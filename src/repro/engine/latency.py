@@ -36,6 +36,10 @@ class LatencyModel:
     # inter-node link — per-transfer launch latency plus a bandwidth term.
     transfer_bandwidth_bytes_per_s: float = 12e9
     transfer_latency_s: float = 0.003
+    # Stitching a transferred prefix head onto a locally recomputed tail
+    # (split-point steering): one KV-layout merge pass, charged once after
+    # both halves are ready.
+    split_merge_s: float = 0.0005
 
     def __post_init__(self) -> None:
         if self.peak_flops_per_s <= 0 or not 0 < self.mfu <= 1:
@@ -50,6 +54,8 @@ class LatencyModel:
             raise ValueError("transfer_bandwidth_bytes_per_s must be positive")
         if self.transfer_latency_s < 0:
             raise ValueError("transfer_latency_s must be non-negative")
+        if self.split_merge_s < 0:
+            raise ValueError("split_merge_s must be non-negative")
 
     @property
     def effective_flops_per_s(self) -> float:
@@ -70,7 +76,11 @@ class LatencyModel:
         slower secondary bandwidth; the remainder uses the primary fetch
         bandwidth.
         """
-        if not 0 <= secondary_bytes <= max(reused_bytes, 0):
+        if reused_bytes < 0:
+            raise ValueError(
+                f"reused_bytes must be non-negative, got {reused_bytes}"
+            )
+        if not 0 <= secondary_bytes <= reused_bytes:
             raise ValueError(
                 f"secondary_bytes must be within [0, reused_bytes], got "
                 f"{secondary_bytes} of {reused_bytes}"
@@ -101,7 +111,11 @@ class LatencyModel:
         overhead = self.prefill_overhead_s
         out = []
         for seq_len, reused_len, reused_bytes, secondary_bytes in items:
-            if not 0 <= secondary_bytes <= max(reused_bytes, 0):
+            if reused_bytes < 0:
+                raise ValueError(
+                    f"reused_bytes must be non-negative, got {reused_bytes}"
+                )
+            if not 0 <= secondary_bytes <= reused_bytes:
                 raise ValueError(
                     f"secondary_bytes must be within [0, reused_bytes], got "
                     f"{secondary_bytes} of {reused_bytes}"

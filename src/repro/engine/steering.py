@@ -15,7 +15,22 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.models.config import ModelConfig
+from repro.models.flops import model_suffix_prefill_flops
+from repro.models.memory import transfer_state_bytes
+
 _SCENARIO_ACTIONS = ("fail", "drain", "join")
+
+
+class NoRoutableReplicaError(RuntimeError):
+    """Every replica is failed or drained: no destination can accept work.
+
+    Raised by :func:`pick_least_loaded` (empty candidate set) and by the
+    kernel's failover fallback instead of a bare ``min()`` ``ValueError``
+    or an anonymous ``RuntimeError``, so callers can catch the condition
+    specifically; the message says how the fleet got here (how many
+    replicas exist and why none is routable) so an operator can act on it.
+    """
 
 
 def pick_least_loaded(loads: Sequence[int], rotation: int) -> int:
@@ -27,6 +42,11 @@ def pick_least_loaded(loads: Sequence[int], rotation: int) -> int:
     never silently diverge.  ``rotation`` is the caller-held tie-break
     counter (increment it after each pick).
     """
+    if not loads:
+        raise NoRoutableReplicaError(
+            "cannot pick a replica from an empty candidate set: every "
+            "replica has failed, drained, or was never attached"
+        )
     floor = min(loads)
     tied = [index for index, load in enumerate(loads) if load == floor]
     return tied[rotation % len(tied)]
@@ -82,11 +102,163 @@ class TransferSpec:
 
 
 @dataclass(frozen=True)
+class SplitSpec(TransferSpec):
+    """A split-point transfer: ship the prefix head, recompute the tail.
+
+    ``tokens`` (and ``nbytes``) describe the *head* — the ``split_depth``
+    deepest checkpointed prefix worth shipping — while the request's
+    remaining ``total_len - split_depth`` tokens are recomputed on the
+    target concurrently with the transfer.  Unlike a plain
+    :class:`TransferSpec`, the request is *not* parked: the kernel
+    enqueues it immediately and charges its prefill as
+    ``overhead + max(transfer_remaining + head_fetch, tail_compute) +
+    merge``.  ``tail_flops``/``head_flops`` carry the planner's FLOP
+    breakdown so the kernel never re-derives the model math.
+    """
+
+    split_depth: int = 0
+    total_len: int = 0
+    tail_flops: float = 0.0
+    head_flops: float = 0.0
+
+    def __post_init__(self) -> None:
+        TransferSpec.__post_init__(self)
+        if self.split_depth != len(self.tokens):
+            raise ValueError(
+                f"split_depth must equal len(tokens), got {self.split_depth} "
+                f"for {len(self.tokens)} head tokens"
+            )
+        if not 0 < self.split_depth < self.total_len:
+            raise ValueError(
+                f"split_depth must lie strictly inside the request "
+                f"({self.split_depth} of {self.total_len})"
+            )
+        if self.tail_flops < 0 or self.head_flops < 0:
+            raise ValueError("split FLOP terms must be non-negative")
+
+
+@dataclass(frozen=True)
 class RouteDecision:
     """A router's full verdict for one arrival: replica plus optional transfer."""
 
     replica: int
     transfer: Optional[TransferSpec] = None
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """Outcome of the split-point cost model for one steering opportunity.
+
+    ``mode`` is one of ``"recompute"`` (no transfer — prefill everything
+    past the local hit), ``"load"`` (PR-4 all-or-nothing: ship the deepest
+    checkpoint, park the request) or ``"split"`` (ship ``depth`` tokens of
+    head state while the tail recomputes in parallel).  The ``est_*``
+    fields are the model's TTFT-proxy estimates (seconds past the shared
+    prefill overhead) for each arm; ``est_split`` is ``None`` when no
+    interior candidate existed.
+    """
+
+    mode: str
+    depth: int
+    nbytes: int
+    tail_flops: float
+    head_flops: float
+    est_recompute: float
+    est_load: float
+    est_split: Optional[float] = None
+
+
+def plan_split(
+    model: ModelConfig,
+    latency: Any,
+    total_len: int,
+    local_hit: int,
+    ckpt_depths: Sequence[int],
+    *,
+    min_tokens: int = 1,
+    allow_split: bool = True,
+) -> Optional[SplitPlan]:
+    """Pick compute, load, or a split point for one steering opportunity.
+
+    ``ckpt_depths`` holds the source replica's checkpointed prefix depths
+    of the query (from a directory lookup).  The endpoint comparison —
+    full recompute versus shipping the deepest checkpoint — reproduces the
+    PR-4 all-or-nothing rule expression-for-expression, so with
+    ``allow_split=False`` (or when no interior checkpoint exists) the
+    returned plan is byte-identical to the legacy decision.  Interior
+    candidates are priced as the two halves overlapped::
+
+        est_split(d) = max(transfer(d) + secondary_fetch(d), tail_flops(d))
+                       + split_merge
+
+    and an interior depth is chosen only when strictly cheaper than the
+    winning endpoint.  Returns ``None`` when no usable candidate depth
+    survives the ``min_tokens`` gate (nothing worth planning).
+    """
+    limit = total_len - 1  # the final input token must always be prefilled
+    usable = sorted(d for d in ckpt_depths if local_hit < d <= limit)
+    if not usable or usable[-1] - local_hit < min_tokens:
+        return None
+    depth = usable[-1]
+    eff = latency.effective_flops_per_s
+    secondary_bw = latency.secondary_fetch_bandwidth_bytes_per_s
+
+    # -- endpoint arms: the PR-4 all-or-nothing comparison, verbatim ----
+    nbytes = transfer_state_bytes(model, depth)
+    load_seconds = (
+        latency.transfer_seconds(nbytes) + nbytes / secondary_bw
+    )
+    saved_flops = model_suffix_prefill_flops(
+        model, total_len, local_hit
+    ) - model_suffix_prefill_flops(model, total_len, depth)
+    recompute_seconds = saved_flops / eff
+    load_wins = load_seconds < recompute_seconds
+
+    tail_at_depth = model_suffix_prefill_flops(model, total_len, depth) / eff
+    est_recompute = recompute_seconds + tail_at_depth  # == tail(local_hit)
+    est_load = load_seconds + tail_at_depth
+
+    # -- interior arms: head transfer overlapped with tail recompute ----
+    best: Optional[tuple[float, int, int, float]] = None  # est, d, nb, tail
+    if allow_split:
+        for d in usable[:-1]:
+            if d - local_hit < min_tokens:
+                continue
+            nb = transfer_state_bytes(model, d)
+            load_arm = latency.transfer_seconds(nb) + nb / secondary_bw
+            tail_flops = model_suffix_prefill_flops(model, total_len, d)
+            tail_arm = tail_flops / eff
+            est = max(load_arm, tail_arm) + latency.split_merge_s
+            # Deepest among equal-cost candidates: ship more state when the
+            # estimate ties (monotone in bandwidth; fewer FLOPs recomputed).
+            if best is None or est <= best[0]:
+                best = (est, d, nb, tail_flops)
+
+    endpoint_est = est_load if load_wins else est_recompute
+    if best is not None and best[0] < endpoint_est:
+        est, d, nb, tail_flops = best
+        return SplitPlan(
+            mode="split",
+            depth=d,
+            nbytes=nb,
+            tail_flops=tail_flops,
+            head_flops=model_suffix_prefill_flops(model, d, local_hit),
+            est_recompute=est_recompute,
+            est_load=est_load,
+            est_split=est,
+        )
+    return SplitPlan(
+        mode="load" if load_wins else "recompute",
+        depth=depth if load_wins else local_hit,
+        nbytes=nbytes if load_wins else 0,
+        tail_flops=model_suffix_prefill_flops(model, total_len, depth)
+        if load_wins
+        else saved_flops + model_suffix_prefill_flops(model, total_len, depth),
+        head_flops=0.0,
+        est_recompute=est_recompute,
+        est_load=est_load,
+        est_split=None if best is None else best[0],
+    )
 
 
 @dataclass(frozen=True)
@@ -232,6 +404,15 @@ class SteeringTelemetry:
     transfer_seconds_in: list[float] = field(default_factory=list)
     transfers_in: list[int] = field(default_factory=list)
     transfers_out: list[int] = field(default_factory=list)
+    #: Seconds each replica's outbound link spent occupied by transfers
+    #: (serialized per-source pricing: concurrent transfers queue behind
+    #: one another instead of each getting the full link bandwidth).
+    link_busy_seconds: list[float] = field(default_factory=list)
+    #: Total seconds transfers spent queued waiting for a busy source link.
+    link_wait_seconds: float = 0.0
+    #: TTFT seconds split-point overlap shaved off versus the serialized
+    #: (local-recompute) prefill each split request would otherwise pay.
+    overlap_seconds_saved: float = 0.0
     counters: dict[str, int] = field(default_factory=dict)
 
     def add_replica(self) -> None:
@@ -240,6 +421,7 @@ class SteeringTelemetry:
         self.transfer_seconds_in.append(0.0)
         self.transfers_in.append(0)
         self.transfers_out.append(0)
+        self.link_busy_seconds.append(0.0)
 
     def bump(self, key: str, by: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + by
@@ -254,18 +436,53 @@ class SteeringTelemetry:
         self.transfers_in[target] += 1
         self.bump("transfers_completed")
 
+    def record_link(self, source: int, busy_seconds: float, wait_seconds: float) -> None:
+        """Account one charged transfer on ``source``'s outbound link."""
+        self.link_busy_seconds[source] += busy_seconds
+        self.link_wait_seconds += wait_seconds
+
     @property
     def total_transfer_bytes(self) -> int:
         return sum(self.transfer_bytes_in)
 
+    def check_conservation(self, transfer_bandwidth_bytes_per_s: float) -> None:
+        """Assert transfer bytes/seconds conservation (link pricing sanity).
+
+        With serialized per-source-link pricing, a source link can never
+        move bytes faster than its bandwidth: the seconds it spent busy
+        must cover at least ``bytes_out / bandwidth`` (strictly more when
+        per-transfer launch latency is non-zero).  A violation means some
+        transfers were priced in parallel on one link — the N-transfers ×
+        full-bandwidth bug this check exists to catch.  Completed-transfer
+        bytes must also balance across the fleet: every byte that arrived
+        somewhere left somewhere.
+        """
+        if sum(self.transfer_bytes_in) != sum(self.transfer_bytes_out):
+            raise AssertionError(
+                f"transfer byte imbalance: {sum(self.transfer_bytes_in)} in "
+                f"vs {sum(self.transfer_bytes_out)} out"
+            )
+        for source, busy in enumerate(self.link_busy_seconds):
+            need = self.transfer_bytes_out[source] / transfer_bandwidth_bytes_per_s
+            if busy + 1e-9 < need:
+                raise AssertionError(
+                    f"source link {source} moved {self.transfer_bytes_out[source]} "
+                    f"bytes in {busy:.6f}s busy time but needs >= {need:.6f}s "
+                    f"at {transfer_bandwidth_bytes_per_s:.3g} B/s — concurrent "
+                    f"transfers were priced at more than aggregate bandwidth"
+                )
+
     def to_dict(self) -> dict:
         return {
             "counters": dict(sorted(self.counters.items())),
+            "link_wait_seconds": self.link_wait_seconds,
+            "overlap_seconds_saved": self.overlap_seconds_saved,
             "per_replica": {
                 "transfer_bytes_in": list(self.transfer_bytes_in),
                 "transfer_bytes_out": list(self.transfer_bytes_out),
                 "transfer_seconds_in": list(self.transfer_seconds_in),
                 "transfers_in": list(self.transfers_in),
                 "transfers_out": list(self.transfers_out),
+                "link_busy_seconds": list(self.link_busy_seconds),
             },
         }

@@ -27,6 +27,11 @@ from repro.experiments.runner import (
     run_policies,
     run_policy_on_trace,
 )
+from repro.experiments.steering_sweep import (
+    steered_round_ttft,
+    steering_bandwidth_sweep,
+    split_probe_trace,
+)
 from repro.experiments.sweeps import SweepPoint, standard_sweep, sweep_specs
 
 __all__ = [
@@ -48,4 +53,7 @@ __all__ = [
     "SweepPoint",
     "standard_sweep",
     "sweep_specs",
+    "split_probe_trace",
+    "steered_round_ttft",
+    "steering_bandwidth_sweep",
 ]

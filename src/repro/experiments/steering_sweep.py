@@ -1,0 +1,182 @@
+"""Bandwidth-regime sweep for split-point steering (compute-or-load v2).
+
+One controlled steering opportunity, measured under three planner arms at
+each swept inter-replica bandwidth:
+
+``recompute``
+    ``DirectoryRouter(transfer=False)`` — the steered request recomputes
+    its whole missing span locally (no transfer planned).
+``full``
+    ``DirectoryRouter(split=False)`` — the PR-4 all-or-nothing rule:
+    either recompute everything or park the request behind a transfer of
+    the deepest checkpoint.
+``split``
+    ``DirectoryRouter(split=True)`` — compute-or-load-or-both: interior
+    checkpoint depths are candidate split points, the head transfer
+    overlaps the tail recompute.
+
+The scenario is deterministic and queue-free so the steered round's TTFT
+isolates the planner decision: one chat session lays interior checkpoints
+on replica 0 round by round, replica 0 then drains, and the session's
+final (long-think) round is forced onto cold replica 1 — the one steering
+opportunity.  Because an interior split is only planned when its estimate
+strictly beats both endpoints, split TTFT <= min(full, recompute) must
+hold at every bandwidth; the benchmark lane asserts exactly that floor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import DirectoryRouter, ScenarioEvent, simulate_cluster
+from repro.engine.latency import LatencyModel
+from repro.metrics.export import steering_split_summary
+from repro.models.config import ModelConfig
+from repro.models.presets import hybrid_7b
+from repro.tiering import TieredMarconiCache
+from repro.workloads.trace import Trace, TraceRound, TraceSession
+
+#: Swept inter-replica link bandwidths (bytes/s): disk-ish 0.3 GB/s up to
+#: NVLink-ish 50 GB/s, bracketing the regime crossover where the planner
+#: flips from recompute through split to full load.
+DEFAULT_BANDWIDTHS: tuple[float, ...] = (3e8, 1e9, 3e9, 12e9, 5e10)
+
+#: The three planner arms, in reporting order.
+ARMS: tuple[str, ...] = ("recompute", "full", "split")
+
+#: Event time at which the warm replica drains (all context rounds have
+#: completed long before; the final round arrives ~30s in).
+_DRAIN_TIME_S = 10.0
+
+
+def split_probe_trace(
+    n_ctx_rounds: int = 4,
+    tokens_per_round: int = 400,
+    tail_tokens: int = 600,
+    seed: int = 0,
+) -> Trace:
+    """One chat session engineered to create a single steering opportunity.
+
+    ``n_ctx_rounds`` quick rounds grow the prefix on whichever replica
+    affinity picks (laying one recurrent checkpoint per round boundary —
+    the interior split candidates), then a final round appends
+    ``tail_tokens`` after a think gap long enough to land *after* the
+    drain event.
+    """
+    rng = np.random.default_rng(seed)
+
+    def toks(n: int) -> np.ndarray:
+        return rng.integers(0, 50_000, size=n, dtype=np.int32)
+
+    rounds = [
+        TraceRound(toks(tokens_per_round), toks(8)) for _ in range(n_ctx_rounds)
+    ]
+    rounds.append(TraceRound(toks(tail_tokens), toks(8)))
+    think_times = [0.0] + [0.5] * (n_ctx_rounds - 1) + [30.0]
+    return Trace(
+        name="steering-split-probe",
+        seed=seed,
+        sessions=[TraceSession(0, 0.0, rounds, think_times)],
+    )
+
+
+def _fresh_caches(model: ModelConfig, n_replicas: int = 2) -> list:
+    return [
+        TieredMarconiCache(model, int(1e12), int(1e12)) for _ in range(n_replicas)
+    ]
+
+
+def _router_for_arm(arm: str, transfer_min_tokens: int) -> DirectoryRouter:
+    if arm == "recompute":
+        return DirectoryRouter(transfer=False)
+    if arm == "full":
+        return DirectoryRouter(split=False, transfer_min_tokens=transfer_min_tokens)
+    if arm == "split":
+        return DirectoryRouter(split=True, transfer_min_tokens=transfer_min_tokens)
+    raise ValueError(f"unknown sweep arm {arm!r}; known: {ARMS}")
+
+
+def steered_round_ttft(
+    model: ModelConfig,
+    trace: Trace,
+    arm: str,
+    latency: LatencyModel,
+    *,
+    transfer_min_tokens: int = 16,
+) -> tuple[float, dict]:
+    """TTFT of the post-drain steered round under one planner arm.
+
+    Returns ``(ttft_seconds, steering_split_summary)`` of the run.
+    """
+    scenario = [ScenarioEvent(time=_DRAIN_TIME_S, action="drain", replica=0)]
+    result = simulate_cluster(
+        model,
+        _fresh_caches(model),
+        _router_for_arm(arm, transfer_min_tokens),
+        trace,
+        scenario=scenario,
+        latency=latency,
+    )
+    records = [r for rr in result.replica_results for r in rr.records]
+    last = max(records, key=lambda r: (r.session_id, r.round_index))
+    return float(last.ttft), steering_split_summary(result)
+
+
+def steering_bandwidth_sweep(
+    bandwidths: Optional[Sequence[float]] = None,
+    *,
+    model: Optional[ModelConfig] = None,
+    n_ctx_rounds: int = 4,
+    tokens_per_round: int = 400,
+    tail_tokens: int = 600,
+    transfer_min_tokens: int = 16,
+) -> dict:
+    """Run the three-arm sweep; returns the ``BENCH_steering.json`` payload.
+
+    The returned dict carries per-bandwidth TTFTs per arm plus each split
+    run's decision/overlap summary, and a ``floor_holds`` flag per point:
+    split TTFT <= min(full, recompute) + epsilon.
+    """
+    if bandwidths is None:
+        bandwidths = DEFAULT_BANDWIDTHS
+    if model is None:
+        model = hybrid_7b()
+    trace = split_probe_trace(
+        n_ctx_rounds=n_ctx_rounds,
+        tokens_per_round=tokens_per_round,
+        tail_tokens=tail_tokens,
+    )
+    ttfts: dict[str, list[float]] = {arm: [] for arm in ARMS}
+    split_summaries: list[dict] = []
+    floor_holds: list[bool] = []
+    for bandwidth in bandwidths:
+        latency = LatencyModel(transfer_bandwidth_bytes_per_s=float(bandwidth))
+        for arm in ARMS:
+            ttft, summary = steered_round_ttft(
+                model,
+                trace,
+                arm,
+                latency,
+                transfer_min_tokens=transfer_min_tokens,
+            )
+            ttfts[arm].append(ttft)
+            if arm == "split":
+                split_summaries.append(summary)
+        endpoint_floor = min(ttfts["recompute"][-1], ttfts["full"][-1])
+        floor_holds.append(ttfts["split"][-1] <= endpoint_floor + 1e-9)
+    return {
+        "bandwidths_bytes_per_s": [float(b) for b in bandwidths],
+        "arms": list(ARMS),
+        "ttft_seconds": ttfts,
+        "split_summaries": split_summaries,
+        "floor_holds": floor_holds,
+        "scenario": {
+            "n_ctx_rounds": n_ctx_rounds,
+            "tokens_per_round": tokens_per_round,
+            "tail_tokens": tail_tokens,
+            "transfer_min_tokens": transfer_min_tokens,
+            "drain_time_s": _DRAIN_TIME_S,
+        },
+    }

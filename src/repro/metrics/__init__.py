@@ -9,6 +9,7 @@ from repro.metrics.export import (
     gateway_summary_to_json,
     records_from_csv,
     records_to_csv,
+    steering_split_summary,
     summary_dict,
     summary_from_json,
     summary_to_json,
@@ -57,6 +58,7 @@ __all__ = [
     "cluster_summary_dict",
     "cluster_summary_to_json",
     "cluster_summary_from_json",
+    "steering_split_summary",
     "gateway_summary_dict",
     "gateway_summary_to_json",
     "gateway_summary_from_json",

@@ -109,6 +109,45 @@ def cluster_summary_to_json(result, path: str | Path) -> None:
     _write_json(cluster_summary_dict(result), path)
 
 
+#: Steering decision counters promoted into :func:`steering_split_summary`
+#: (absent counters export as 0 so downstream tooling sees a stable shape).
+_SPLIT_COUNTERS = (
+    "transfers_planned",
+    "transfers_split",
+    "transfers_completed",
+    "transfers_dropped",
+    "chose_recompute",
+    "chose_load",
+    "chose_split",
+    "splits_overlapped",
+    "splits_hidden",
+    "splits_ignored",
+)
+
+
+def steering_split_summary(result) -> dict:
+    """Compact split-point steering view of one cluster run.
+
+    Duck-typed on :class:`~repro.cluster.simulator.ClusterResult`:
+    promotes the compute/load/split decision counters, the overlap
+    savings, and the transfer-link ledger into one flat dict — the shape
+    the steering benchmarks embed in ``BENCH_steering.json``.
+    """
+    steering = result.steering
+    out: dict = {key: 0 for key in _SPLIT_COUNTERS}
+    if steering is None:
+        out["overlap_seconds_saved"] = 0.0
+        out["link_wait_seconds"] = 0.0
+        out["total_transfer_bytes"] = 0
+        return out
+    for key in _SPLIT_COUNTERS:
+        out[key] = steering.counters.get(key, 0)
+    out["overlap_seconds_saved"] = steering.overlap_seconds_saved
+    out["link_wait_seconds"] = steering.link_wait_seconds
+    out["total_transfer_bytes"] = steering.total_transfer_bytes
+    return out
+
+
 #: Scalar staleness fields promoted into :func:`directory_staleness_summary`
 #: (the sharded backend's aggregate counters; absent keys are skipped, so
 #: the synchronous oracle's snapshot passes through its own counters).

@@ -77,6 +77,21 @@ def kv_bytes(config: ModelConfig, n_tokens: int) -> int:
     return n_tokens * kv_bytes_per_token(config)
 
 
+def transfer_state_bytes(config: ModelConfig, depth: int) -> int:
+    """Bytes of the self-contained shippable state of a ``depth``-token prefix.
+
+    A cross-replica transfer must carry the prefix's KVs across all
+    Attention layers plus exactly one full-model recurrent checkpoint.
+    The recurrent part is constant in ``depth`` (tiny to ship) while the
+    KV part grows linearly — the asymmetry the split-point steering
+    planner exploits: shipping a *shorter* head cuts bytes almost
+    proportionally, yet still carries a complete SSM state.
+    """
+    if depth <= 0:
+        raise ValueError(f"transfer depth must be positive, got {depth}")
+    return kv_bytes(config, depth) + model_recurrent_bytes(config)
+
+
 def node_state_bytes(config: ModelConfig, kv_tokens: int, has_ssm_state: bool) -> int:
     """Bytes occupied by one radix-tree node's states.
 

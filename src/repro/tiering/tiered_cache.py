@@ -31,9 +31,9 @@ from repro.core.interfaces import as_token_array
 from repro.models.config import ModelConfig
 from repro.models.flops import model_prefill_flops
 from repro.models.memory import (
-    kv_bytes,
     kv_bytes_per_token,
     model_recurrent_bytes,
+    transfer_state_bytes,
 )
 from repro.tiering.secondary import SecondaryEntry, SecondaryStore
 
@@ -91,8 +91,12 @@ class TieredMarconiCache(MarconiCache):
     # Demotion (primary eviction hook)
     # ------------------------------------------------------------------
     def _entry_bytes(self, seq_len: int) -> int:
-        """Self-contained footprint of a demoted prefix of ``seq_len`` tokens."""
-        return kv_bytes(self.model, seq_len) + model_recurrent_bytes(self.model)
+        """Self-contained footprint of a demoted prefix of ``seq_len`` tokens.
+
+        Identical to the steering planner's transfer payload sizing —
+        a demoted entry and a shipped prefix carry the same state.
+        """
+        return transfer_state_bytes(self.model, seq_len)
 
     def _apply_eviction(self, victim: EvictionCandidate) -> None:
         node = victim.node

@@ -550,6 +550,139 @@ class TestTransfers:
         assert a.token_hit_rate == pytest.approx(b.token_hit_rate)
 
 
+class TestSplitSteering:
+    """Compute-or-load-or-both: interior split points and the overlap of
+    head transfer with tail recompute (steering v2)."""
+
+    def _warm_with_interior_checkpoints(self, hybrid):
+        """Two chained rounds on replica 0 lay checkpoints at ~1020 and
+        ~1840 tokens: the shallower one is the interior split candidate."""
+        caches = [_tiered(hybrid, seqs=16), _tiered(hybrid, seqs=16)]
+        seq = toks(1000, 71)
+        with caches[0].begin(seq, 0.0) as session:
+            full = np.concatenate([seq, toks(20, 72)])
+            session.commit(full, 0.5)
+        ext = np.concatenate([full, toks(800, 73)])
+        with caches[0].begin(ext, 1.0) as session:
+            full = np.concatenate([ext, toks(20, 74)])
+            session.commit(full, 1.5)
+        return caches, full
+
+    def test_split_spec_validation(self, hybrid):
+        from repro.cluster import SplitSpec
+
+        good = dict(source=0, target=1, tokens=toks(5, 1), nbytes=10)
+        SplitSpec(**good, split_depth=5, total_len=8)
+        with pytest.raises(ValueError):  # depth must cover the shipped tokens
+            SplitSpec(**good, split_depth=4, total_len=8)
+        with pytest.raises(ValueError):  # interior means depth < total
+            SplitSpec(**good, split_depth=5, total_len=5)
+
+    def test_router_plans_interior_split(self, hybrid):
+        """At a mid-range bandwidth the overlapped interior candidate beats
+        both endpoints, so the router emits a SplitSpec, not all-or-nothing."""
+        from repro.cluster import SplitSpec
+
+        caches, full = self._warm_with_interior_checkpoints(hybrid)
+        router = DirectoryRouter(max_imbalance=2, transfer_min_tokens=16)
+        router.prepare(
+            hybrid, caches, LatencyModel(transfer_bandwidth_bytes_per_s=1e9)
+        )
+        query = np.concatenate([full, toks(600, 75)])
+        decision = router.decide(query, 7, caches, [10, 0], 2.0)
+        assert decision.replica == 1
+        spec = decision.transfer
+        assert isinstance(spec, SplitSpec)
+        assert 0 < spec.split_depth < len(query)
+        assert spec.total_len == len(query)
+        assert len(spec.tokens) == spec.split_depth
+        assert spec.tail_flops > 0 and spec.head_flops > 0
+        assert router.decision_stats.get("chose_split", 0) == 1
+        # Splitting disabled: the same opportunity degenerates to PR-4.
+        legacy = DirectoryRouter(split=False, max_imbalance=2, transfer_min_tokens=16)
+        legacy.prepare(
+            hybrid, caches, LatencyModel(transfer_bandwidth_bytes_per_s=1e9)
+        )
+        ldec = legacy.decide(query, 7, caches, [10, 0], 2.0)
+        assert ldec.transfer is None or not isinstance(ldec.transfer, SplitSpec)
+
+    def test_split_overlap_end_to_end(self, hybrid):
+        """A split run must execute the overlap: the request starts its
+        tail recompute while the head ships, and telemetry records the
+        TTFT seconds the overlap hid."""
+        from repro.experiments.steering_sweep import split_probe_trace
+
+        trace = split_probe_trace()
+        caches = [
+            TieredMarconiCache(hybrid, int(1e12), int(1e12)) for _ in range(2)
+        ]
+        router = DirectoryRouter(split=True, transfer_min_tokens=16)
+        result = simulate_cluster(
+            hybrid,
+            caches,
+            router,
+            trace,
+            scenario=[ScenarioEvent(10.0, "drain", replica=0)],
+            latency=LatencyModel(transfer_bandwidth_bytes_per_s=1e9),
+        )
+        assert result.steering_counter("transfers_split") >= 1
+        assert result.steering_counter("splits_overlapped") >= 1
+        assert result.overlap_seconds_saved > 0
+        assert router.decision_stats.get("chose_split", 0) >= 1
+        assert _served_rounds(result) == _expected_rounds(trace)
+        _assert_no_leaks(caches)
+
+    def test_concurrent_transfers_serialize_on_source_link(self, hybrid):
+        """N transfers leaving one source must share its link, not each see
+        the full bandwidth: waits accumulate and the conservation audit
+        (busy time >= bytes out / bandwidth per link) passes."""
+        from repro.workloads.trace import Trace, TraceRound, TraceSession
+
+        rng = np.random.default_rng(76)
+
+        def session(sid):
+            rounds = [
+                TraceRound(
+                    rng.integers(0, 32000, 1200).astype(np.int32),
+                    rng.integers(0, 32000, 8).astype(np.int32),
+                ),
+                TraceRound(
+                    rng.integers(0, 32000, 30).astype(np.int32),
+                    rng.integers(0, 32000, 8).astype(np.int32),
+                ),
+            ]
+            # Staggered arrivals + counter-staggered thinks: every round-2
+            # request lands at ~5.19s, slamming the drained source's link.
+            return TraceSession(sid, 0.05 * sid, rounds, [0.0, 5.0 - 0.05 * sid])
+
+        trace = Trace(
+            name="link-contention",
+            seed=76,
+            sessions=[session(i) for i in range(12)],
+        )
+        caches = [
+            TieredMarconiCache(hybrid, int(1e12), int(1e12)) for _ in range(2)
+        ]
+        bandwidth = 2e9
+        result = simulate_cluster(
+            hybrid,
+            caches,
+            DirectoryRouter(transfer_min_tokens=16),
+            trace,
+            scenario=[ScenarioEvent(2.0, "drain", replica=0)],
+            latency=LatencyModel(transfer_bandwidth_bytes_per_s=bandwidth),
+        )
+        steering = result.steering
+        assert result.steering_counter("transfers_completed") >= 2
+        # Round-2 arrivals land within a few ms of each other while each
+        # state blob takes ~56ms on the shared link: most of them queue.
+        assert steering.link_wait_seconds > 0
+        assert sum(steering.link_busy_seconds) > 0
+        steering.check_conservation(bandwidth)  # must not raise
+        assert _served_rounds(result) == _expected_rounds(trace)
+        _assert_no_leaks(caches)
+
+
 class TestClusterExport:
     def test_to_dict_shape(self, hybrid):
         trace = generate_lmsys_trace(n_sessions=8, seed=54)

@@ -52,6 +52,18 @@ class TestLatencyModel:
         with pytest.raises(ValueError):
             LatencyModel(decode_seconds_per_token=-1)
 
+    def test_negative_reused_bytes_rejected(self, hybrid):
+        """Negative reused_bytes used to be silently clamped to zero,
+        masking accounting bugs upstream; now both paths reject it."""
+        lm = LatencyModel()
+        with pytest.raises(ValueError, match="reused_bytes"):
+            lm.prefill_seconds(hybrid, 1000, 500, -1)
+        with pytest.raises(ValueError, match="reused_bytes"):
+            lm.prefill_seconds_batch(hybrid, [(1000, 500, -1, 0)])
+        # A well-formed sibling item must not mask the bad one.
+        with pytest.raises(ValueError, match="reused_bytes"):
+            lm.prefill_seconds_batch(hybrid, [(1000, 0, 0, 0), (1000, 500, -7, 0)])
+
     def test_batch_is_bit_identical_to_scalar(self, hybrid):
         """The scheduler's batch path must reproduce the scalar method's
         floats exactly (== , not approx): both feed committed transcripts."""

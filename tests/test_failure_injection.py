@@ -5,10 +5,12 @@ import numpy as np
 import pytest
 
 from repro.cluster import (
+    NoRoutableReplicaError,
     PrefixAffinityRouter,
     ShardedPrefixDirectory,
     simulate_cluster,
 )
+from repro.engine.steering import pick_least_loaded
 from repro.core.cache import MarconiCache
 from repro.models.memory import (
     kv_bytes_per_token,
@@ -318,6 +320,52 @@ class TestDirectoryShardFaults:
             for node in shard.directory.iter_nodes():
                 assert 1 not in node.cover and 1 not in node.ckpt
         backend.close()
+
+
+class TestAllReplicasDown:
+    """Exhausting the fleet must fail with a typed, actionable error —
+    not a bare ``min()`` ``ValueError`` from an empty candidate list."""
+
+    def test_empty_candidate_set_is_typed(self):
+        with pytest.raises(NoRoutableReplicaError, match="empty candidate set"):
+            pick_least_loaded([], 0)
+
+    def test_all_replicas_failed_mid_run(self, hybrid):
+        from repro.cluster import ScenarioEvent
+
+        trace = generate_lmsys_trace(n_sessions=8, seed=64, session_rate=2.0)
+        caches = _fleet(hybrid, 2)
+        with pytest.raises(NoRoutableReplicaError) as excinfo:
+            simulate_cluster(
+                hybrid,
+                caches,
+                PrefixAffinityRouter(),
+                trace,
+                scenario=[
+                    ScenarioEvent(0.5, "fail", replica=0),
+                    ScenarioEvent(0.6, "fail", replica=1),
+                ],
+            )
+        # The message must name the fleet state and a remediation.
+        message = str(excinfo.value)
+        assert "2 replicas" in message and "2 failed" in message
+        assert "join" in message
+
+    def test_last_replica_drained_then_failed(self, hybrid):
+        from repro.cluster import ScenarioEvent
+
+        trace = generate_lmsys_trace(n_sessions=8, seed=65, session_rate=2.0)
+        with pytest.raises(NoRoutableReplicaError, match="1 failed and 1 draining"):
+            simulate_cluster(
+                hybrid,
+                _fleet(hybrid, 2),
+                PrefixAffinityRouter(),
+                trace,
+                scenario=[
+                    ScenarioEvent(0.4, "drain", replica=0),
+                    ScenarioEvent(0.6, "fail", replica=1),
+                ],
+            )
 
 
 class TestTunerUnderChurn:
